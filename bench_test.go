@@ -1,0 +1,151 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment end to end,
+// fails if the experiment's shape checks fail, and reports the headline
+// quantities the paper reports (loads in percent, execution times in
+// simulated seconds, degradations in percent) via b.ReportMetric.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package pasched_test
+
+import (
+	"testing"
+
+	"pasched"
+)
+
+// runExperiment executes one experiment per benchmark iteration and
+// returns the last result.
+func runExperiment(b *testing.B, id string) *pasched.ExperimentResult {
+	b.Helper()
+	var res *pasched.ExperimentResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = pasched.RunExperiment(id)
+		if err != nil {
+			b.Fatalf("experiment %s: %v", id, err)
+		}
+		if !res.Passed() {
+			b.Fatalf("experiment %s failed shape checks: %v", id, res.FailedChecks())
+		}
+	}
+	return res
+}
+
+// reportTableCell reports the numeric value at (rowLabel, column) of the
+// result's first table under the given metric name.
+func reportTableCell(b *testing.B, res *pasched.ExperimentResult, row, col int, name string) {
+	b.Helper()
+	if len(res.Tables) == 0 || row >= len(res.Tables[0].Rows) || col >= len(res.Tables[0].Rows[row]) {
+		return
+	}
+	var v float64
+	if _, err := fmtSscan(res.Tables[0].Rows[row][col], &v); err != nil {
+		return
+	}
+	b.ReportMetric(v, name)
+}
+
+func BenchmarkVerifyProportionality(b *testing.B) {
+	res := runExperiment(b, "verify")
+	b.ReportMetric(float64(len(res.Checks)), "checks")
+}
+
+func BenchmarkFig1Compensation(b *testing.B) {
+	res := runExperiment(b, "fig1")
+	// The execution time at 20% initial credit, both curves.
+	reportTableCell(b, res, 1, 2, "T@2667MHz_credit20_s")
+	reportTableCell(b, res, 1, 3, "T@2133MHz_compensated_s")
+}
+
+func BenchmarkFig2LoadProfile(b *testing.B) {
+	runExperiment(b, "fig2")
+}
+
+func BenchmarkFig3StockOndemand(b *testing.B) {
+	res := runExperiment(b, "fig3")
+	reportCheck(b, res, "frequency transitions across 1s samples", "freq_transitions")
+}
+
+func BenchmarkFig4PaperGovernor(b *testing.B) {
+	res := runExperiment(b, "fig4")
+	reportCheck(b, res, "frequency transitions across 1s samples", "freq_transitions")
+}
+
+func BenchmarkFig5AbsoluteLoadsCredit(b *testing.B) {
+	res := runExperiment(b, "fig5")
+	reportCheck(b, res, "V20 absolute load, phase 1 (%)", "v20_abs_p1_pct")
+}
+
+func BenchmarkFig6SEDFGlobalLoads(b *testing.B) {
+	res := runExperiment(b, "fig6")
+	reportCheck(b, res, "V20 global load, phase 1 (%)", "v20_global_p1_pct")
+}
+
+func BenchmarkFig7SEDFAbsoluteLoads(b *testing.B) {
+	res := runExperiment(b, "fig7")
+	reportCheck(b, res, "V20 absolute load, phase 1 (%)", "v20_abs_p1_pct")
+}
+
+func BenchmarkFig8SEDFThrashing(b *testing.B) {
+	res := runExperiment(b, "fig8")
+	reportCheck(b, res, "V20 global load, phase 1 (%)", "v20_global_p1_pct")
+}
+
+func BenchmarkFig9PASGlobalLoads(b *testing.B) {
+	res := runExperiment(b, "fig9")
+	reportCheck(b, res, "V20 enforced cap, phase 1 (%)", "v20_cap_p1_pct")
+}
+
+func BenchmarkFig10PASAbsoluteLoads(b *testing.B) {
+	res := runExperiment(b, "fig10")
+	reportCheck(b, res, "V20 absolute load, phase 1 (%)", "v20_abs_p1_pct")
+}
+
+func BenchmarkTable1CFMeasurement(b *testing.B) {
+	res := runExperiment(b, "table1")
+	// cf_min of the most deviant part (E5-2620).
+	reportCheck(b, res, "cf_min Intel Xeon E5-2620", "cf_min_e5_2620")
+}
+
+func BenchmarkTable2Platforms(b *testing.B) {
+	res := runExperiment(b, "table2")
+	reportCheck(b, res, "Hyper-V degradation (%)", "hyperv_degradation_pct")
+	reportCheck(b, res, "Xen/credit degradation (%)", "xen_credit_degradation_pct")
+	reportCheck(b, res, "Xen/PAS degradation (%)", "xen_pas_degradation_pct")
+}
+
+func BenchmarkAblationImplementation(b *testing.B) {
+	runExperiment(b, "ablation-impl")
+}
+
+func BenchmarkEnergyAblation(b *testing.B) {
+	runExperiment(b, "energy")
+}
+
+func BenchmarkAblationGovernors(b *testing.B) {
+	runExperiment(b, "ablation-governors")
+}
+
+func BenchmarkExtMulticore(b *testing.B) {
+	runExperiment(b, "ext-multicore")
+}
+
+func BenchmarkExtConsolidation(b *testing.B) {
+	runExperiment(b, "ext-consolidation")
+}
+
+// reportCheck reports a named check's measured value as a metric.
+func reportCheck(b *testing.B, res *pasched.ExperimentResult, check, name string) {
+	b.Helper()
+	for _, c := range res.Checks {
+		if c.Name == check {
+			var v float64
+			if _, err := fmtSscan(c.Measured, &v); err == nil {
+				b.ReportMetric(v, name)
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package pasched_test
+
+import (
+	"fmt"
+	"strings"
+)
+
+// fmtSscan parses the leading float in a table/check cell, tolerating
+// trailing annotations.
+func fmtSscan(s string, v *float64) (int, error) {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, ' '); i > 0 {
+		s = s[:i]
+	}
+	return fmt.Sscan(s, v)
+}

@@ -1,0 +1,100 @@
+// Command pasbench runs the paper-reproduction experiments and prints the
+// tables and figure series the paper reports.
+//
+// Usage:
+//
+//	pasbench -list            list experiment identifiers
+//	pasbench -exp fig9        run one experiment
+//	pasbench -all             run every experiment in the paper's order
+//
+// Exit status is non-zero when a requested experiment fails its shape
+// checks, making the command usable as a reproduction gate in CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pasched/internal/experiments"
+	"pasched/internal/metrics"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("pasbench", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		list = fs.Bool("list", false, "list experiment identifiers and titles")
+		exp  = fs.String("exp", "", "run a single experiment by identifier")
+		all  = fs.Bool("all", false, "run every experiment")
+		csv  = fs.String("csv", "", "also write the experiment's figure series as CSV to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch {
+	case *list:
+		for _, id := range experiments.IDs() {
+			title, err := experiments.Title(id)
+			if err != nil {
+				fmt.Fprintln(errOut, err)
+				return 1
+			}
+			fmt.Fprintf(out, "%-20s %s\n", id, title)
+		}
+		return 0
+	case *exp != "":
+		return runOne(*exp, *csv, out, errOut)
+	case *all:
+		status := 0
+		for _, id := range experiments.IDs() {
+			if rc := runOne(id, "", out, errOut); rc != 0 {
+				status = rc
+			}
+		}
+		return status
+	default:
+		fs.Usage()
+		return 2
+	}
+}
+
+func runOne(id, csvPath string, out, errOut io.Writer) int {
+	res, err := experiments.Run(id)
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+	fmt.Fprintln(out, res.Render())
+	if csvPath != "" {
+		if err := writeCSV(csvPath, res); err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+	}
+	if !res.Passed() {
+		fmt.Fprintf(errOut, "%s: FAILED checks: %v\n", id, res.FailedChecks())
+		return 1
+	}
+	return 0
+}
+
+func writeCSV(path string, res *experiments.Result) error {
+	if len(res.Series) == 0 {
+		return fmt.Errorf("%s has no figure series to export", res.ID)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := metrics.WriteCSV(f, res.Series...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,96 @@
+// Command pascalib runs the paper's Section 5.2 calibration procedures on
+// a named processor profile: it measures the per-frequency calibration
+// factors cf_i (Table 1) and verifies the frequency/performance
+// proportionality (equation 2).
+//
+// Usage:
+//
+//	pascalib -list
+//	pascalib -profile e5-2620
+//	pascalib -profile optiplex755 -load 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pasched/internal/calib"
+	"pasched/internal/cpufreq"
+	"pasched/internal/metrics"
+)
+
+// profiles maps CLI names to architecture profiles.
+func profiles() map[string]*cpufreq.Profile {
+	return map[string]*cpufreq.Profile{
+		"optiplex755": cpufreq.Optiplex755(),
+		"elite8300":   cpufreq.Elite8300(),
+		"x3440":       cpufreq.XeonX3440(),
+		"l5420":       cpufreq.XeonL5420(),
+		"e5-2620":     cpufreq.XeonE5_2620(),
+		"opteron6164": cpufreq.Opteron6164HE(),
+		"i7-3770":     cpufreq.CoreI7_3770(),
+	}
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("pascalib", flag.ContinueOnError)
+	var (
+		list    = fs.Bool("list", false, "list profile names")
+		profile = fs.String("profile", "", "profile to calibrate")
+		loadPct = fs.Float64("load", 25, "calibration workload, percent of max capacity")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	known := profiles()
+	if *list {
+		names := make([]string, 0, len(known))
+		for n := range known {
+			names = append(names, n)
+		}
+		fmt.Println(strings.Join(names, "\n"))
+		return 0
+	}
+	prof, ok := known[*profile]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown profile %q; use -list\n", *profile)
+		return 2
+	}
+
+	res, err := calib.MeasureCF(prof, *loadPct)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	tb := metrics.NewTable(fmt.Sprintf("cf calibration for %s (eq. 1 procedure)", prof.Name),
+		"frequency", "measured cf", "ground truth")
+	for i, f := range res.Freqs {
+		truth, err := prof.Efficiency(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		tb.AddRow(f.String(), metrics.Fmt(res.CF[i], 5), metrics.Fmt(truth, 5))
+	}
+	fmt.Println(tb.Render())
+
+	work := 4 * float64(prof.Max()) * 1e6
+	rows, err := calib.VerifyFreqProportionality(prof, work)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	tb2 := metrics.NewTable("frequency/performance proportionality (eq. 2)",
+		"frequency", "measured T_max/T_i", "predicted ratio*cf")
+	for _, r := range rows {
+		tb2.AddRow(r.Label, metrics.Fmt(r.Measured, 4), metrics.Fmt(r.Predicted, 4))
+	}
+	fmt.Println(tb2.Render())
+	return 0
+}

@@ -1,0 +1,49 @@
+// Command pasplot renders a paper experiment's figure series as an ASCII
+// chart, a terminal substitute for the paper's gnuplot figures.
+//
+// Usage:
+//
+//	pasplot -exp fig9
+//	pasplot -exp fig5 -w 140 -h 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pasched/internal/experiments"
+	"pasched/internal/metrics"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("pasplot", flag.ContinueOnError)
+	var (
+		exp    = fs.String("exp", "", "experiment identifier (see pasbench -list)")
+		width  = fs.Int("w", 110, "chart width in characters")
+		height = fs.Int("h", 24, "chart height in characters")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *exp == "" {
+		fs.Usage()
+		return 2
+	}
+	res, err := experiments.Run(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if len(res.Series) == 0 {
+		fmt.Fprintf(os.Stderr, "experiment %s has no figure series (a table-only experiment)\n", *exp)
+		return 1
+	}
+	fmt.Printf("%s: %s\n\n", res.ID, res.Title)
+	fmt.Println(metrics.ASCIIChart(*width, *height, res.Series...))
+	return 0
+}

@@ -1,0 +1,63 @@
+package pasched_test
+
+import (
+	"fmt"
+	"log"
+
+	"pasched"
+)
+
+// ExampleNewSystem reproduces the paper's core result in a few lines: an
+// overloaded 20%-credit VM on an otherwise idle host keeps exactly its
+// contracted absolute capacity while the frequency is scaled down.
+func ExampleNewSystem() {
+	sys, err := pasched.NewSystem(pasched.WithPAS(), pasched.WithDom0())
+	if err != nil {
+		log.Fatal(err)
+	}
+	v20, err := sys.AddVM("V20", 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v20.SetWorkload(pasched.CPUHog())
+	if err := sys.Run(30 * pasched.Second); err != nil {
+		log.Fatal(err)
+	}
+	cap, err := sys.PAS().EffectiveCap(v20.ID())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frequency: %v\n", sys.CPU().Freq())
+	fmt.Printf("enforced cap: %.1f%%\n", cap)
+	// Output:
+	// frequency: 1600MHz
+	// enforced cap: 33.3%
+}
+
+// ExampleCompensatedCredit shows equation (4) on the paper's own numbers:
+// a 20% credit at half the maximum frequency becomes 40%.
+func ExampleCompensatedCredit() {
+	c, err := pasched.CompensatedCredit(20, 0.5, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.0f%%\n", c)
+	// Output: 40%
+}
+
+// ExampleComputeNewFreq walks Listing 1.1: the lowest Optiplex frequency
+// whose capacity absorbs a 21% absolute load is the 1600 MHz step (60%
+// capacity).
+func ExampleComputeNewFreq() {
+	f := pasched.ComputeNewFreq(pasched.Optiplex755(), nil, 21)
+	fmt.Println(f)
+	// Output: 1600MHz
+}
+
+// ExampleAbsoluteLoad converts the paper's Section 4 example: a 33.3%
+// global load at 1600 of 2667 MHz is a 20% absolute load.
+func ExampleAbsoluteLoad() {
+	abs := pasched.AbsoluteLoad(33.34, 1600.0/2667.0, 1)
+	fmt.Printf("%.0f%%\n", abs)
+	// Output: 20%
+}

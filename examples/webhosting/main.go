@@ -1,0 +1,95 @@
+// Webhosting: the paper's hosting-provider scenario. Two customers buy
+// fixed CPU shares (20% and 70%) for their web applications; one is
+// overloaded while the other is lazy. The example runs the same offered
+// load under the three schedulers the paper compares — Credit (fix
+// credit), SEDF (variable credit) and PAS — and prints what each customer
+// actually received and what the provider paid in energy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"pasched"
+	"pasched/internal/metrics"
+)
+
+// run executes the scenario under one configuration and reports V20's
+// absolute load (the SLA view), V20's raw share of the machine, the mean
+// frequency, and the energy drawn.
+func run(build func() (*pasched.System, error)) (absV20, shareV20, freq, joules float64, err error) {
+	sys, err := build()
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	v20, err := sys.AddVM("V20", 20)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	if _, err := sys.AddVM("V70", 70); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	// V20's customers hammer it (5x its capacity); V70's are absent.
+	maxTp := 2667e6
+	wl, err := pasched.NewWebApp(pasched.WebAppConfig{
+		Phases: []pasched.WebPhase{{
+			Start: 0, End: 120 * pasched.Second,
+			Rate: pasched.ExactRate(maxTp, 20, 0) * 5,
+		}},
+		Seed: 7,
+	})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	v20.SetWorkload(wl)
+	if err := sys.Run(120 * pasched.Second); err != nil {
+		return 0, 0, 0, 0, err
+	}
+	rec := sys.Recorder()
+	absV20, _ = rec.Series("V20_absolute_pct").MeanBetween(10, 120)
+	shareV20, _ = rec.Series("V20_global_pct").MeanBetween(10, 120)
+	freq, _ = rec.Series("freq_mhz").MeanBetween(10, 120)
+	return absV20, shareV20, freq, sys.Energy().Joules(), nil
+}
+
+func main() {
+	configs := []struct {
+		name  string
+		build func() (*pasched.System, error)
+	}{
+		{"Credit + ondemand (fix credit)", func() (*pasched.System, error) {
+			return pasched.NewSystem(pasched.WithDom0(),
+				pasched.WithCreditScheduler(), pasched.WithOndemandGovernor())
+		}},
+		{"SEDF + ondemand (variable credit)", func() (*pasched.System, error) {
+			return pasched.NewSystem(pasched.WithDom0(),
+				pasched.WithSEDFScheduler(), pasched.WithOndemandGovernor())
+		}},
+		{"PAS", func() (*pasched.System, error) {
+			return pasched.NewSystem(pasched.WithDom0(), pasched.WithPAS())
+		}},
+	}
+
+	tb := metrics.NewTable(
+		"Overloaded V20 (bought 20%), lazy V70 (bought 70%), 120 s:",
+		"configuration", "V20 absolute (%)", "V20 machine share (%)", "mean freq (MHz)", "energy (J)")
+	for _, cfg := range configs {
+		abs, share, freq, joules, err := run(cfg.build)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb.AddRow(cfg.name, metrics.Fmt(abs, 1), metrics.Fmt(share, 1),
+			metrics.Fmt(freq, 0), metrics.Fmt(joules, 0))
+	}
+	fmt.Fprintln(os.Stdout, tb.Render())
+	fmt.Println(`Reading the rows:
+  Credit: the governor lowers the frequency (cheap) but V20 receives ~12%
+          absolute instead of the 20% it bought - SLA violated.
+  SEDF:   V20 receives far MORE than it bought and the frequency stays
+          high - the provider gives capacity away and saves nothing.
+  PAS:    V20 receives exactly 20% absolute at a reduced frequency - the
+          only configuration that honours the SLA, at a fraction of
+          SEDF's energy (slightly above Credit's bill only because it
+          actually delivers the work Credit withheld).`)
+}

@@ -1,0 +1,165 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"pasched/internal/cpufreq"
+	"pasched/internal/sim"
+	"pasched/internal/workload"
+)
+
+func TestMeasureCFRecoversIdealArchitecture(t *testing.T) {
+	// The Optiplex has cf = 1 everywhere; the measurement procedure must
+	// recover that from pure load observations.
+	res, err := MeasureCF(cpufreq.Optiplex755(), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cf := range res.CF {
+		if math.Abs(cf-1) > 0.01 {
+			t.Errorf("cf[%v] = %v, want ~1", res.Freqs[i], cf)
+		}
+	}
+	if math.Abs(res.CFMin()-1) > 0.01 {
+		t.Errorf("CFMin = %v, want ~1", res.CFMin())
+	}
+}
+
+func TestMeasureCFRecoversTable1GroundTruth(t *testing.T) {
+	// Table 1's most deviant part: the measured cf_min on the E5-2620
+	// must recover the profile's ground truth of 0.80338.
+	res, err := MeasureCF(cpufreq.XeonE5_2620(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.CFMin()-0.80338) > 0.01 {
+		t.Errorf("measured cf_min = %v, want ~0.80338", res.CFMin())
+	}
+}
+
+func TestMeasureCFValidation(t *testing.T) {
+	p := cpufreq.Optiplex755()
+	p.States = p.States[:1]
+	if _, err := MeasureCF(p, 25); err == nil {
+		t.Error("MeasureCF accepted invalid profile")
+	}
+}
+
+func TestMeasureCFEmptyResultCFMin(t *testing.T) {
+	r := &CFResult{}
+	if r.CFMin() != 1 {
+		t.Errorf("empty CFMin = %v, want 1", r.CFMin())
+	}
+}
+
+func TestMeasurePiTimeMatchesAnalyticModel(t *testing.T) {
+	prof := cpufreq.Optiplex755()
+	// 4 "full-CPU seconds" of work at 50% credit at max frequency: 8 s.
+	work := workload.PiWorkFor(2667e6, 100, 4)
+	got, err := MeasurePiTime(prof, 2667, 50, work, sim.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-8) > 0.1 {
+		t.Errorf("exec time = %v s, want ~8 s", got)
+	}
+}
+
+func TestMeasurePiTimeTimeout(t *testing.T) {
+	prof := cpufreq.Optiplex755()
+	work := workload.PiWorkFor(2667e6, 100, 100)
+	if _, err := MeasurePiTime(prof, 2667, 10, work, 5*sim.Second); err == nil {
+		t.Error("MeasurePiTime returned despite unfinished work")
+	}
+}
+
+func TestVerifyFreqProportionality(t *testing.T) {
+	// Equation (2) holds on the simulated host: measured time ratios match
+	// ratio*cf at every frequency, for an ideal and a non-ideal profile.
+	for _, prof := range []*cpufreq.Profile{cpufreq.Optiplex755(), cpufreq.XeonE5_2620()} {
+		prof := prof
+		t.Run(prof.Name, func(t *testing.T) {
+			work := 4 * float64(prof.Max()) * 1e6
+			rows, err := VerifyFreqProportionality(prof, work)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows) != prof.Levels() {
+				t.Fatalf("got %d rows, want %d", len(rows), prof.Levels())
+			}
+			for _, r := range rows {
+				if math.Abs(r.Measured-r.Predicted) > 0.02 {
+					t.Errorf("%s: measured %v vs predicted %v", r.Label, r.Measured, r.Predicted)
+				}
+			}
+		})
+	}
+}
+
+func TestVerifyCreditProportionality(t *testing.T) {
+	prof := cpufreq.Optiplex755()
+	work := workload.PiWorkFor(2667e6, 100, 2)
+	rows, err := VerifyCreditProportionality(prof, work, []float64{10, 20, 40, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if math.Abs(r.Measured-r.Predicted)/r.Predicted > 0.02 {
+			t.Errorf("%s: measured %v vs predicted %v", r.Label, r.Measured, r.Predicted)
+		}
+	}
+	if _, err := VerifyCreditProportionality(prof, work, []float64{10}); err == nil {
+		t.Error("single-credit verification accepted")
+	}
+}
+
+func TestCompensationCurveEqualizesTimes(t *testing.T) {
+	// Figure 1's claim: with the compensated credit, execution at the
+	// reduced frequency takes the same time as at the maximum frequency
+	// (as long as the compensated credit fits under 100%).
+	prof := cpufreq.Optiplex755()
+	work := workload.PiWorkFor(2667e6, 100, 2)
+	points, err := CompensationCurve(prof, 2133, work, []float64{10, 20, 40, 60, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		wantNew := p.InitCredit / (2133.0 / 2667.0)
+		if math.Abs(p.NewCredit-wantNew) > 0.01 {
+			t.Errorf("credit %v: compensated = %v, want %v", p.InitCredit, p.NewCredit, wantNew)
+		}
+		diff := math.Abs(p.TimeCompensated-p.TimeAtMax) / p.TimeAtMax
+		if diff > 0.03 {
+			t.Errorf("credit %v: times %v vs %v differ by %.1f%%",
+				p.InitCredit, p.TimeAtMax, p.TimeCompensated, diff*100)
+		}
+	}
+}
+
+func TestCompensationCurveSaturatesAbove100(t *testing.T) {
+	// Beyond ~80% initial credit the compensated credit exceeds 100% and
+	// the reduced frequency physically cannot keep up; the curve diverges
+	// (the regime right of Figure 1's overlap).
+	prof := cpufreq.Optiplex755()
+	work := workload.PiWorkFor(2667e6, 100, 2)
+	points, err := CompensationCurve(prof, 2133, work, []float64{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := points[0]
+	if p.NewCredit <= 100 {
+		t.Fatalf("NewCredit = %v, want > 100", p.NewCredit)
+	}
+	if p.TimeCompensated <= p.TimeAtMax*1.1 {
+		t.Errorf("expected divergence at saturated credit: %v vs %v",
+			p.TimeCompensated, p.TimeAtMax)
+	}
+}
+
+func TestCompensationCurveBadFrequency(t *testing.T) {
+	prof := cpufreq.Optiplex755()
+	if _, err := CompensationCurve(prof, 1234, 1e9, []float64{20}); err == nil {
+		t.Error("CompensationCurve accepted unsupported frequency")
+	}
+}

@@ -1,0 +1,479 @@
+package consolidation
+
+import (
+	"fmt"
+	"sort"
+
+	"pasched/internal/host"
+	"pasched/internal/sim"
+	"pasched/internal/vm"
+	"pasched/internal/workload"
+)
+
+// DefaultMigrationBandwidthMBps is the default memory-copy bandwidth of a
+// live migration, in MB per simulated second (a 10 GbE link's practical
+// throughput).
+const DefaultMigrationBandwidthMBps = 1000
+
+// DataCenter is a set of identical machines running in lockstep, with live
+// VM migration and machine power management — the dynamic consolidation
+// context of Section 2.3 ("VM migration helps achieving better server
+// utilization by migrating VMs on a minimal set of machines, and switching
+// unused machines off").
+//
+// Machines run either PAS (credits compensated at reduced frequencies) or
+// a plain fix-credit scheduler pinned at the maximum frequency. Energy is
+// accounted only for powered-on machines.
+type DataCenter struct {
+	spec      HostSpec
+	usePAS    bool
+	bandwidth float64 // MB per second of migration traffic
+	step      sim.Time
+	now       sim.Time
+	machines  []*machine
+	vms       map[string]*placedVM
+	inflight  []*migration
+	joules    float64
+	migrated  int
+
+	autoInterval sim.Time // 0 = manual consolidation only
+	nextPlan     sim.Time
+	poweredOff   int
+}
+
+// machine is one physical host plus its power state.
+type machine struct {
+	h          *host.Host
+	on         bool
+	prevJoules float64
+	memUsedMB  int
+	creditUsed float64
+	nextID     vm.ID
+}
+
+// placedVM tracks where a VM currently lives.
+type placedVM struct {
+	spec      VMSpec
+	machine   int
+	guest     *vm.VM
+	wl        workload.Workload
+	migrating bool
+}
+
+// migration is one in-flight live migration.
+type migration struct {
+	name     string
+	from, to int
+	done     sim.Time
+}
+
+// NewDataCenter builds n machines, all powered on and empty.
+func NewDataCenter(spec HostSpec, n int, usePAS bool) (*DataCenter, error) {
+	spec, err := spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("consolidation: need at least 1 machine, got %d", n)
+	}
+	dc := &DataCenter{
+		spec:      spec,
+		usePAS:    usePAS,
+		bandwidth: DefaultMigrationBandwidthMBps,
+		step:      100 * sim.Millisecond,
+		vms:       make(map[string]*placedVM),
+	}
+	for i := 0; i < n; i++ {
+		h, err := buildHost(spec, usePAS)
+		if err != nil {
+			return nil, fmt.Errorf("consolidation: machine %d: %w", i, err)
+		}
+		dc.machines = append(dc.machines, &machine{h: h, on: true, nextID: 1})
+	}
+	return dc, nil
+}
+
+// Machines returns the number of machines.
+func (dc *DataCenter) Machines() int { return len(dc.machines) }
+
+// ActiveMachines returns the number of powered-on machines.
+func (dc *DataCenter) ActiveMachines() int {
+	n := 0
+	for _, m := range dc.machines {
+		if m.on {
+			n++
+		}
+	}
+	return n
+}
+
+// Now returns the data center's simulated time.
+func (dc *DataCenter) Now() sim.Time { return dc.now }
+
+// TotalJoules returns the energy consumed by powered-on machines so far.
+func (dc *DataCenter) TotalJoules() float64 { return dc.joules }
+
+// Migrations returns the number of completed migrations.
+func (dc *DataCenter) Migrations() int { return dc.migrated }
+
+// MachineOf returns the index of the machine currently hosting the VM.
+func (dc *DataCenter) MachineOf(name string) (int, error) {
+	p, ok := dc.vms[name]
+	if !ok {
+		return 0, fmt.Errorf("consolidation: unknown VM %q", name)
+	}
+	return p.machine, nil
+}
+
+// Host exposes one machine's simulated host (for metrics).
+func (dc *DataCenter) Host(i int) (*host.Host, error) {
+	if i < 0 || i >= len(dc.machines) {
+		return nil, fmt.Errorf("consolidation: machine %d out of range", i)
+	}
+	return dc.machines[i].h, nil
+}
+
+// Place creates the VM described by spec on machine i, with a steady web
+// workload offering Activity x Credit of load.
+func (dc *DataCenter) Place(spec VMSpec, i int) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if _, dup := dc.vms[spec.Name]; dup {
+		return fmt.Errorf("consolidation: VM %q already placed", spec.Name)
+	}
+	if i < 0 || i >= len(dc.machines) {
+		return fmt.Errorf("consolidation: machine %d out of range", i)
+	}
+	m := dc.machines[i]
+	if !m.on {
+		return fmt.Errorf("consolidation: machine %d is powered off", i)
+	}
+	if err := dc.fits(m, spec); err != nil {
+		return err
+	}
+	maxTp, err := dc.spec.Profile.Throughput(dc.spec.Profile.Max())
+	if err != nil {
+		return err
+	}
+	var wl workload.Workload = workload.Idle{}
+	if spec.Activity > 0 {
+		web, err := workload.NewWebApp(workload.WebAppConfig{
+			Phases: workload.ThreePhase(dc.now, 1<<55,
+				workload.ExactRate(maxTp, spec.CreditPct*spec.Activity, workload.DefaultRequestCost)),
+			Seed: uint64(len(dc.vms) + 1),
+		})
+		if err != nil {
+			return err
+		}
+		wl = web
+	}
+	guest, err := dc.attach(m, spec, wl)
+	if err != nil {
+		return err
+	}
+	dc.vms[spec.Name] = &placedVM{spec: spec, machine: i, guest: guest, wl: wl}
+	return nil
+}
+
+// fits checks a machine's memory and credit headroom for spec.
+func (dc *DataCenter) fits(m *machine, spec VMSpec) error {
+	if m.memUsedMB+spec.MemoryMB > dc.spec.MemoryMB {
+		return fmt.Errorf("consolidation: %s does not fit: memory %d+%d > %d",
+			spec.Name, m.memUsedMB, spec.MemoryMB, dc.spec.MemoryMB)
+	}
+	if m.creditUsed+spec.CreditPct > 100-dc.spec.Dom0ReservePct {
+		return fmt.Errorf("consolidation: %s does not fit: credit %v+%v > %v",
+			spec.Name, m.creditUsed, spec.CreditPct, 100-dc.spec.Dom0ReservePct)
+	}
+	return nil
+}
+
+// attach creates the guest VM on machine m and binds the workload.
+func (dc *DataCenter) attach(m *machine, spec VMSpec, wl workload.Workload) (*vm.VM, error) {
+	guest, err := vm.New(m.nextID, vm.Config{Name: spec.Name, Credit: spec.CreditPct})
+	if err != nil {
+		return nil, err
+	}
+	m.nextID++
+	guest.SetWorkload(wl)
+	if err := m.h.AddVM(guest); err != nil {
+		return nil, err
+	}
+	m.memUsedMB += spec.MemoryMB
+	m.creditUsed += spec.CreditPct
+	return guest, nil
+}
+
+// Migrate starts a live migration of the named VM to machine `to`. The VM
+// keeps running on the source during the pre-copy (memory size divided by
+// the migration bandwidth); at completion it switches to the target. The
+// target's memory is reserved for the whole copy, as in a real pre-copy
+// migration.
+func (dc *DataCenter) Migrate(name string, to int) error {
+	p, ok := dc.vms[name]
+	if !ok {
+		return fmt.Errorf("consolidation: unknown VM %q", name)
+	}
+	if p.migrating {
+		return fmt.Errorf("consolidation: %s is already migrating", name)
+	}
+	if to < 0 || to >= len(dc.machines) {
+		return fmt.Errorf("consolidation: machine %d out of range", to)
+	}
+	if to == p.machine {
+		return fmt.Errorf("consolidation: %s is already on machine %d", name, to)
+	}
+	dst := dc.machines[to]
+	if !dst.on {
+		return fmt.Errorf("consolidation: target machine %d is powered off", to)
+	}
+	if err := dc.fits(dst, p.spec); err != nil {
+		return err
+	}
+	// Reserve the target side for the duration of the copy.
+	dst.memUsedMB += p.spec.MemoryMB
+	dst.creditUsed += p.spec.CreditPct
+	dur := sim.FromSeconds(float64(p.spec.MemoryMB) / dc.bandwidth)
+	dc.inflight = append(dc.inflight, &migration{
+		name: name,
+		from: p.machine,
+		to:   to,
+		done: dc.now + dur,
+	})
+	p.migrating = true
+	return nil
+}
+
+// completeMigrations finishes every due migration: detach from the source,
+// attach the same workload to a fresh guest on the target.
+func (dc *DataCenter) completeMigrations() error {
+	remaining := dc.inflight[:0]
+	for _, mg := range dc.inflight {
+		if mg.done > dc.now {
+			remaining = append(remaining, mg)
+			continue
+		}
+		p := dc.vms[mg.name]
+		src := dc.machines[mg.from]
+		dst := dc.machines[mg.to]
+		if err := src.h.RemoveVM(p.guest.ID()); err != nil {
+			return err
+		}
+		src.memUsedMB -= p.spec.MemoryMB
+		src.creditUsed -= p.spec.CreditPct
+		// The reservation made at Migrate time becomes the real usage;
+		// attach re-adds it, so undo the reservation first.
+		dst.memUsedMB -= p.spec.MemoryMB
+		dst.creditUsed -= p.spec.CreditPct
+		guest, err := dc.attach(dst, p.spec, p.wl)
+		if err != nil {
+			return err
+		}
+		p.guest = guest
+		p.machine = mg.to
+		p.migrating = false
+		dc.migrated++
+	}
+	dc.inflight = remaining
+	return nil
+}
+
+// PowerOff switches an empty machine off. Its clock freezes and it stops
+// consuming energy.
+func (dc *DataCenter) PowerOff(i int) error {
+	if i < 0 || i >= len(dc.machines) {
+		return fmt.Errorf("consolidation: machine %d out of range", i)
+	}
+	m := dc.machines[i]
+	if !m.on {
+		return fmt.Errorf("consolidation: machine %d is already off", i)
+	}
+	if m.memUsedMB > 0 {
+		return fmt.Errorf("consolidation: machine %d still hosts VMs", i)
+	}
+	m.on = false
+	return nil
+}
+
+// PowerOn switches a machine back on. Its clock fast-forwards to the data
+// center's present.
+func (dc *DataCenter) PowerOn(i int) error {
+	if i < 0 || i >= len(dc.machines) {
+		return fmt.Errorf("consolidation: machine %d out of range", i)
+	}
+	m := dc.machines[i]
+	if m.on {
+		return fmt.Errorf("consolidation: machine %d is already on", i)
+	}
+	m.on = true
+	return nil
+}
+
+// Run advances the data center by d in lockstep.
+func (dc *DataCenter) Run(d sim.Time) error {
+	target := dc.now + d
+	for dc.now < target {
+		next := dc.now + dc.step
+		if next > target {
+			next = target
+		}
+		for i, m := range dc.machines {
+			if !m.on {
+				continue
+			}
+			// Powered-off periods are skipped wholesale: catch the
+			// machine's clock up without charging idle energy for the
+			// off time.
+			if m.h.Now() < dc.now {
+				if err := dc.skipTo(m, dc.now); err != nil {
+					return fmt.Errorf("consolidation: machine %d: %w", i, err)
+				}
+			}
+			if err := m.h.RunUntil(next); err != nil {
+				return fmt.Errorf("consolidation: machine %d: %w", i, err)
+			}
+			j := m.h.Energy().Joules()
+			dc.joules += j - m.prevJoules
+			m.prevJoules = j
+		}
+		dc.now = next
+		if err := dc.completeMigrations(); err != nil {
+			return err
+		}
+		if err := dc.autoStep(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EnableAutoConsolidation turns on the consolidation manager: every
+// interval it plans a consolidation round (when no migrations are in
+// flight), executes it, and powers off machines that end up empty. One
+// machine always stays on.
+func (dc *DataCenter) EnableAutoConsolidation(interval sim.Time) error {
+	if interval <= 0 {
+		return fmt.Errorf("consolidation: auto interval must be positive, got %v", interval)
+	}
+	dc.autoInterval = interval
+	dc.nextPlan = dc.now + interval
+	return nil
+}
+
+// AutoPoweredOff returns how many machines the manager has switched off.
+func (dc *DataCenter) AutoPoweredOff() int { return dc.poweredOff }
+
+// autoStep runs one iteration of the consolidation manager.
+func (dc *DataCenter) autoStep() error {
+	if dc.autoInterval <= 0 || dc.now < dc.nextPlan {
+		return nil
+	}
+	dc.nextPlan = dc.now + dc.autoInterval
+
+	// Power off machines the previous rounds emptied (in-flight
+	// migrations keep their target reservation, so a reserved machine is
+	// never considered empty).
+	for i, m := range dc.machines {
+		if m.on && m.memUsedMB == 0 && dc.ActiveMachines() > 1 {
+			if err := dc.PowerOff(i); err != nil {
+				return err
+			}
+			dc.poweredOff++
+		}
+	}
+	if len(dc.inflight) > 0 {
+		return nil // let the current round finish first
+	}
+	for _, mv := range dc.PlanConsolidation() {
+		if err := dc.Migrate(mv.Name, mv.To); err != nil {
+			return fmt.Errorf("consolidation: auto: %w", err)
+		}
+	}
+	return nil
+}
+
+// skipTo advances a just-powered-on machine's host to the present. The
+// host loop has no time-warp, so the machine "runs" the gap; the energy
+// spent during the gap is excluded from the data-center total (it was
+// off).
+func (dc *DataCenter) skipTo(m *machine, t sim.Time) error {
+	if err := m.h.RunUntil(t); err != nil {
+		return err
+	}
+	m.prevJoules = m.h.Energy().Joules()
+	return nil
+}
+
+// Migration is one planned move: a VM and its target machine.
+type Migration struct {
+	Name string
+	To   int
+}
+
+// PlanConsolidation proposes migrations that empty the least-utilized
+// powered-on machine into the remaining ones (first-fit by memory), so it
+// can be switched off. It returns nil when no machine can be emptied.
+func (dc *DataCenter) PlanConsolidation() []Migration {
+	type cand struct {
+		idx  int
+		used int
+	}
+	var cands []cand
+	for i, m := range dc.machines {
+		if m.on && m.memUsedMB > 0 {
+			cands = append(cands, cand{i, m.memUsedMB})
+		}
+	}
+	if len(cands) < 2 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].used < cands[j].used })
+	victim := cands[0].idx
+
+	// Collect the victim's VMs, largest first.
+	var moving []*placedVM
+	for _, p := range dc.vms {
+		if p.machine == victim && !p.migrating {
+			moving = append(moving, p)
+		}
+	}
+	if len(moving) == 0 {
+		return nil
+	}
+	sort.Slice(moving, func(i, j int) bool {
+		if moving[i].spec.MemoryMB != moving[j].spec.MemoryMB {
+			return moving[i].spec.MemoryMB > moving[j].spec.MemoryMB
+		}
+		return moving[i].spec.Name < moving[j].spec.Name
+	})
+
+	// Tentatively pack them onto the other active machines.
+	memLeft := make(map[int]int)
+	credLeft := make(map[int]float64)
+	for i, m := range dc.machines {
+		if i == victim || !m.on {
+			continue
+		}
+		memLeft[i] = dc.spec.MemoryMB - m.memUsedMB
+		credLeft[i] = 100 - dc.spec.Dom0ReservePct - m.creditUsed
+	}
+	var plan []Migration
+	for _, p := range moving {
+		placed := false
+		for _, c := range cands[1:] {
+			i := c.idx
+			if memLeft[i] >= p.spec.MemoryMB && credLeft[i] >= p.spec.CreditPct {
+				memLeft[i] -= p.spec.MemoryMB
+				credLeft[i] -= p.spec.CreditPct
+				plan = append(plan, Migration{Name: p.spec.Name, To: i})
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil // the victim cannot be fully emptied
+		}
+	}
+	return plan
+}

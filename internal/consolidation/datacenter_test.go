@@ -1,0 +1,411 @@
+package consolidation
+
+import (
+	"math"
+	"testing"
+
+	"pasched/internal/sim"
+)
+
+func newDC(t *testing.T, machines int, usePAS bool) *DataCenter {
+	t.Helper()
+	dc, err := NewDataCenter(hostSpec(), machines, usePAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dc
+}
+
+func TestNewDataCenterValidation(t *testing.T) {
+	if _, err := NewDataCenter(hostSpec(), 0, true); err == nil {
+		t.Error("0 machines accepted")
+	}
+	if _, err := NewDataCenter(HostSpec{}, 2, true); err == nil {
+		t.Error("invalid host spec accepted")
+	}
+}
+
+func TestPlaceAndFitChecks(t *testing.T) {
+	dc := newDC(t, 2, true)
+	a := VMSpec{Name: "a", CreditPct: 40, MemoryMB: 3000, Activity: 0.5}
+	if err := dc.Place(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Place(a, 1); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if err := dc.Place(VMSpec{Name: "big", CreditPct: 10, MemoryMB: 2000, Activity: 0}, 0); err == nil {
+		t.Error("memory overflow accepted")
+	}
+	if err := dc.Place(VMSpec{Name: "cpu", CreditPct: 60, MemoryMB: 100, Activity: 0}, 0); err == nil {
+		t.Error("credit overflow accepted")
+	}
+	if err := dc.Place(VMSpec{Name: "x", CreditPct: 10, MemoryMB: 100, Activity: 0}, 9); err == nil {
+		t.Error("out-of-range machine accepted")
+	}
+	if mi, err := dc.MachineOf("a"); err != nil || mi != 0 {
+		t.Errorf("MachineOf(a) = %d, %v", mi, err)
+	}
+	if _, err := dc.MachineOf("ghost"); err == nil {
+		t.Error("MachineOf(ghost) succeeded")
+	}
+}
+
+func TestLiveMigrationMovesTheVM(t *testing.T) {
+	dc := newDC(t, 2, true)
+	spec := VMSpec{Name: "web", CreditPct: 30, MemoryMB: 2000, Activity: 1.0}
+	if err := dc.Place(spec, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Run(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Migrate("web", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Double-migration of an in-flight VM is rejected.
+	if err := dc.Migrate("web", 1); err == nil {
+		t.Error("migrating an in-flight VM accepted")
+	}
+	// 2000 MB at 1000 MB/s: the copy takes ~2 s.
+	if err := dc.Run(1 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if mi, _ := dc.MachineOf("web"); mi != 0 {
+		t.Errorf("VM moved before the copy finished (machine %d)", mi)
+	}
+	if err := dc.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if mi, _ := dc.MachineOf("web"); mi != 1 {
+		t.Errorf("VM on machine %d after migration, want 1", mi)
+	}
+	if dc.Migrations() != 1 {
+		t.Errorf("Migrations = %d, want 1", dc.Migrations())
+	}
+	// The workload kept running: the target machine serves it now.
+	if err := dc.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	h1, err := dc.Host(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := dc.Now().Seconds()
+	load, _ := h1.Recorder().Series("web_global_pct").MeanBetween(t1-5, t1)
+	if load < 20 {
+		t.Errorf("migrated VM load on target = %.1f%%, want ~30%%", load)
+	}
+}
+
+func TestMigrationValidation(t *testing.T) {
+	dc := newDC(t, 3, false)
+	spec := VMSpec{Name: "a", CreditPct: 30, MemoryMB: 3000, Activity: 0.2}
+	if err := dc.Place(spec, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Migrate("ghost", 1); err == nil {
+		t.Error("unknown VM accepted")
+	}
+	if err := dc.Migrate("a", 0); err == nil {
+		t.Error("self-migration accepted")
+	}
+	if err := dc.Migrate("a", 7); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	// Target too full: fill machine 1 first.
+	if err := dc.Place(VMSpec{Name: "b", CreditPct: 30, MemoryMB: 2000, Activity: 0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Migrate("a", 1); err == nil {
+		t.Error("migration into full machine accepted")
+	}
+	// Powered-off target.
+	if err := dc.PowerOff(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Migrate("a", 2); err == nil {
+		t.Error("migration to powered-off machine accepted")
+	}
+}
+
+func TestPowerManagement(t *testing.T) {
+	dc := newDC(t, 2, true)
+	if err := dc.Place(VMSpec{Name: "a", CreditPct: 20, MemoryMB: 1000, Activity: 0.5}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.PowerOff(0); err == nil {
+		t.Error("powering off a loaded machine accepted")
+	}
+	if err := dc.PowerOff(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.PowerOff(1); err == nil {
+		t.Error("double power-off accepted")
+	}
+	if dc.ActiveMachines() != 1 {
+		t.Errorf("ActiveMachines = %d, want 1", dc.ActiveMachines())
+	}
+	if err := dc.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	oneMachine := dc.TotalJoules()
+
+	// The same setup with both machines on burns more energy.
+	dc2 := newDC(t, 2, true)
+	if err := dc2.Place(VMSpec{Name: "a", CreditPct: 20, MemoryMB: 1000, Activity: 0.5}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc2.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if dc2.TotalJoules() <= oneMachine {
+		t.Errorf("two machines (%.0fJ) not above one (%.0fJ)", dc2.TotalJoules(), oneMachine)
+	}
+
+	// Power the machine back on; its clock catches up without charging
+	// the off-time energy.
+	if err := dc.PowerOn(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.PowerOn(1); err == nil {
+		t.Error("double power-on accepted")
+	}
+	before := dc.TotalJoules()
+	if err := dc.Run(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	h1, err := dc.Host(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.Now() != dc.Now() {
+		t.Errorf("rejoined machine clock %v != %v", h1.Now(), dc.Now())
+	}
+	delta := dc.TotalJoules() - before
+	// One second of two machines is far below the 10 s the machine was
+	// off; the off-time was not charged.
+	if delta > 150 {
+		t.Errorf("energy delta after power-on = %.1fJ, off-time was charged", delta)
+	}
+}
+
+func TestPlanConsolidationEmptiesLeastLoaded(t *testing.T) {
+	dc := newDC(t, 3, true)
+	// Machine 0: two mid VMs; machine 1: one small VM; machine 2: one mid.
+	if err := dc.Place(VMSpec{Name: "a", CreditPct: 30, MemoryMB: 1500, Activity: 0.5}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Place(VMSpec{Name: "b", CreditPct: 30, MemoryMB: 1500, Activity: 0.5}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Place(VMSpec{Name: "small", CreditPct: 10, MemoryMB: 500, Activity: 0.5}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Place(VMSpec{Name: "c", CreditPct: 30, MemoryMB: 1500, Activity: 0.5}, 2); err != nil {
+		t.Fatal(err)
+	}
+	plan := dc.PlanConsolidation()
+	if len(plan) != 1 || plan[0].Name != "small" {
+		t.Fatalf("plan = %+v, want [small -> elsewhere]", plan)
+	}
+	if err := dc.Migrate(plan[0].Name, plan[0].To); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Run(2 * sim.Second); err != nil { // 500MB copies in 0.5s
+		t.Fatal(err)
+	}
+	if mi, _ := dc.MachineOf("small"); mi == 1 {
+		t.Error("small VM still on machine 1")
+	}
+	if err := dc.PowerOff(1); err != nil {
+		t.Fatalf("power off emptied machine: %v", err)
+	}
+	if dc.ActiveMachines() != 2 {
+		t.Errorf("ActiveMachines = %d, want 2", dc.ActiveMachines())
+	}
+}
+
+func TestPlanConsolidationNilWhenImpossible(t *testing.T) {
+	dc := newDC(t, 2, true)
+	// Both machines memory-full: nothing can move.
+	if err := dc.Place(VMSpec{Name: "a", CreditPct: 30, MemoryMB: 4000, Activity: 0.2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Place(VMSpec{Name: "b", CreditPct: 30, MemoryMB: 4000, Activity: 0.2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if plan := dc.PlanConsolidation(); plan != nil {
+		t.Errorf("plan = %+v, want nil (memory bound)", plan)
+	}
+	// A single loaded machine has nothing to consolidate either.
+	dc2 := newDC(t, 2, true)
+	if err := dc2.Place(VMSpec{Name: "a", CreditPct: 30, MemoryMB: 1000, Activity: 0.2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if plan := dc2.PlanConsolidation(); plan != nil {
+		t.Errorf("plan = %+v, want nil", plan)
+	}
+}
+
+func TestConsolidationPlusPASEndToEnd(t *testing.T) {
+	// The full Section 2.3 story: spread VMs, consolidate, switch a
+	// machine off, and let PAS lower the frequency on the survivors —
+	// each step cuts energy while absolute credits hold.
+	dc := newDC(t, 2, true)
+	if err := dc.Place(VMSpec{Name: "a", CreditPct: 20, MemoryMB: 1000, Activity: 1.0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Place(VMSpec{Name: "b", CreditPct: 20, MemoryMB: 1000, Activity: 1.0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	spread := dc.TotalJoules()
+
+	plan := dc.PlanConsolidation()
+	if len(plan) != 1 {
+		t.Fatalf("plan = %+v, want one migration", plan)
+	}
+	if err := dc.Migrate(plan[0].Name, plan[0].To); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	var empty int
+	for i := 0; i < dc.Machines(); i++ {
+		if mi, _ := dc.MachineOf("a"); mi != i {
+			if mj, _ := dc.MachineOf("b"); mj != i {
+				empty = i
+			}
+		}
+	}
+	if err := dc.PowerOff(empty); err != nil {
+		t.Fatal(err)
+	}
+	j0 := dc.TotalJoules()
+	if err := dc.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	consolidated := dc.TotalJoules() - j0
+	if consolidated >= spread {
+		t.Errorf("consolidated 10s = %.0fJ not below spread 10s = %.0fJ", consolidated, spread)
+	}
+	// Both VMs still get their absolute credit on the surviving machine.
+	survivor, _ := dc.MachineOf("a")
+	h, err := dc.Host(survivor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := dc.Now().Seconds()
+	for _, name := range []string{"a", "b"} {
+		abs, n := h.Recorder().Series(name+"_absolute_pct").MeanBetween(t1-5, t1)
+		if n == 0 {
+			t.Fatalf("no samples for %s on survivor", name)
+		}
+		if math.Abs(abs-20) > 2 {
+			t.Errorf("%s absolute = %.1f%%, want ~20%%", name, abs)
+		}
+	}
+}
+
+func TestAutoConsolidationShrinksTheFleet(t *testing.T) {
+	// Four small VMs spread over four machines; the manager migrates them
+	// together and powers off the emptied machines, keeping one on.
+	dc := newDC(t, 4, true)
+	for i := 0; i < 4; i++ {
+		spec := VMSpec{
+			Name:      string(rune('a' + i)),
+			CreditPct: 20,
+			MemoryMB:  900,
+			Activity:  0.5,
+		}
+		if err := dc.Place(spec, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dc.EnableAutoConsolidation(0); err == nil {
+		t.Error("zero auto interval accepted")
+	}
+	if err := dc.EnableAutoConsolidation(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Run(60 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := dc.ActiveMachines(); got != 1 {
+		t.Errorf("ActiveMachines = %d, want 1 after auto-consolidation", got)
+	}
+	if dc.AutoPoweredOff() != 3 {
+		t.Errorf("AutoPoweredOff = %d, want 3", dc.AutoPoweredOff())
+	}
+	if dc.Migrations() < 3 {
+		t.Errorf("Migrations = %d, want >= 3", dc.Migrations())
+	}
+	// All VMs ended up on the same machine and keep their credits.
+	home, err := dc.MachineOf("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"b", "c", "d"} {
+		mi, err := dc.MachineOf(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mi != home {
+			t.Errorf("%s on machine %d, want %d", name, mi, home)
+		}
+	}
+	h, err := dc.Host(home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := dc.Now().Seconds()
+	for _, name := range []string{"a", "b", "c", "d"} {
+		// Each VM offers 50% of its 20% credit: ~10% absolute.
+		abs, n := h.Recorder().Series(name+"_absolute_pct").MeanBetween(t1-10, t1)
+		if n == 0 {
+			t.Fatalf("no samples for %s", name)
+		}
+		if math.Abs(abs-10) > 3 {
+			t.Errorf("%s absolute = %.1f%%, want ~10%%", name, abs)
+		}
+	}
+}
+
+func TestAutoConsolidationSavesEnergy(t *testing.T) {
+	build := func(auto bool) *DataCenter {
+		dc := newDC(t, 3, true)
+		for i := 0; i < 3; i++ {
+			spec := VMSpec{
+				Name:      string(rune('a' + i)),
+				CreditPct: 15,
+				MemoryMB:  800,
+				Activity:  0.4,
+			}
+			if err := dc.Place(spec, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if auto {
+			if err := dc.EnableAutoConsolidation(2 * sim.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return dc
+	}
+	spread := build(false)
+	if err := spread.Run(60 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	auto := build(true)
+	if err := auto.Run(60 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if auto.TotalJoules() >= spread.TotalJoules() {
+		t.Errorf("auto-consolidated %.0fJ not below spread %.0fJ",
+			auto.TotalJoules(), spread.TotalJoules())
+	}
+}

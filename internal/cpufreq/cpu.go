@@ -1,0 +1,118 @@
+package cpufreq
+
+import (
+	"fmt"
+
+	"pasched/internal/sim"
+)
+
+// CPU is a single simulated processor core with a current P-state. It is
+// the object governors and the PAS scheduler act on, playing the role of
+// the cpufreq driver: it validates requested frequencies, applies the
+// transition latency, and keeps transition statistics.
+type CPU struct {
+	prof        *Profile
+	cur         Freq
+	pending     Freq     // target of an in-flight transition, 0 if none
+	switchAt    sim.Time // when the in-flight transition completes
+	transitions int
+	residency   map[Freq]sim.Time // accumulated time per frequency
+	lastUpdate  sim.Time
+}
+
+// NewCPU returns a CPU running profile prof at its maximum frequency (the
+// state a machine boots governors from). It returns an error if the profile
+// is invalid.
+func NewCPU(prof *Profile) (*CPU, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	return &CPU{
+		prof:      prof,
+		cur:       prof.Max(),
+		residency: make(map[Freq]sim.Time, prof.Levels()),
+	}, nil
+}
+
+// Profile returns the architecture profile of the CPU.
+func (c *CPU) Profile() *Profile { return c.prof }
+
+// Freq returns the frequency the core is currently running at. An in-flight
+// transition keeps the old frequency until it completes.
+func (c *CPU) Freq() Freq { return c.cur }
+
+// Transitions returns the number of completed frequency switches.
+func (c *CPU) Transitions() int { return c.transitions }
+
+// Residency returns the accumulated simulated time spent at frequency f, as
+// of the last Advance call.
+func (c *CPU) Residency(f Freq) sim.Time { return c.residency[f] }
+
+// SetFreq requests a switch to frequency f at time now. The switch
+// completes after the profile's transition latency; requesting the current
+// frequency is a no-op. Unsupported frequencies return an error.
+func (c *CPU) SetFreq(f Freq, now sim.Time) error {
+	if _, err := c.prof.Index(f); err != nil {
+		return fmt.Errorf("cpufreq: set frequency: %w", err)
+	}
+	if f == c.cur && c.pending == 0 {
+		return nil
+	}
+	if c.pending != 0 && f == c.pending {
+		return nil
+	}
+	c.pending = f
+	c.switchAt = now + c.prof.TransitionLatency
+	return nil
+}
+
+// Advance accounts residency up to time now and completes any due pending
+// transition. The host calls it once per scheduling quantum before using
+// the CPU's throughput.
+func (c *CPU) Advance(now sim.Time) {
+	if now > c.lastUpdate {
+		c.residency[c.cur] += now - c.lastUpdate
+		c.lastUpdate = now
+	}
+	if c.pending != 0 && now >= c.switchAt {
+		if c.pending != c.cur {
+			c.cur = c.pending
+			c.transitions++
+		}
+		c.pending = 0
+	}
+}
+
+// Throughput returns the current compute capacity in work units per
+// simulated second (see Profile.Throughput).
+func (c *CPU) Throughput() float64 {
+	tp, err := c.prof.Throughput(c.cur)
+	if err != nil {
+		// The current frequency is always a member of the ladder; an
+		// error here would mean corrupted internal state.
+		return float64(c.prof.Max()) * 1e6
+	}
+	return tp
+}
+
+// Ratio returns the paper's ratio for the current frequency:
+// Freq()/Profile().Max().
+func (c *CPU) Ratio() float64 { return c.prof.Ratio(c.cur) }
+
+// Efficiency returns the ground-truth efficiency at the current frequency.
+func (c *CPU) Efficiency() float64 {
+	eff, err := c.prof.Efficiency(c.cur)
+	if err != nil {
+		return 1
+	}
+	return eff
+}
+
+// Power returns the present power draw in watts at utilization util.
+func (c *CPU) Power(util float64) float64 {
+	p, err := c.prof.Power(c.cur, util)
+	if err != nil {
+		return c.prof.StaticPower
+	}
+	return p
+}

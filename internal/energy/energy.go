@@ -1,0 +1,79 @@
+// Package energy accounts the electrical energy consumed by the simulated
+// host, using the processor profile's power model. It quantifies the
+// paper's qualitative claims: a variable-credit scheduler that pins the
+// frequency at maximum under thrashing load "wastes energy from the point
+// of view of the provider" (Section 3.2), while PAS keeps the frequency —
+// and hence the power draw — low whenever the absolute load allows.
+package energy
+
+import (
+	"fmt"
+
+	"pasched/internal/cpufreq"
+	"pasched/internal/sim"
+)
+
+// Meter integrates power draw over simulated time.
+type Meter struct {
+	prof    *cpufreq.Profile
+	joules  float64
+	byFreq  map[cpufreq.Freq]float64 // joules per frequency
+	elapsed sim.Time
+}
+
+// NewMeter returns a meter for the given processor profile.
+func NewMeter(prof *cpufreq.Profile) (*Meter, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, fmt.Errorf("energy: %w", err)
+	}
+	return &Meter{
+		prof:   prof,
+		byFreq: make(map[cpufreq.Freq]float64, prof.Levels()),
+	}, nil
+}
+
+// Add integrates one interval of length dt at frequency f and utilization
+// util in [0,1]. Unsupported frequencies or negative intervals are
+// reported as errors.
+func (m *Meter) Add(dt sim.Time, f cpufreq.Freq, util float64) error {
+	if dt < 0 {
+		return fmt.Errorf("energy: negative interval %v", dt)
+	}
+	p, err := m.prof.Power(f, util)
+	if err != nil {
+		return fmt.Errorf("energy: %w", err)
+	}
+	j := p * dt.Seconds()
+	m.joules += j
+	m.byFreq[f] += j
+	m.elapsed += dt
+	return nil
+}
+
+// Joules returns the total energy consumed.
+func (m *Meter) Joules() float64 { return m.joules }
+
+// Elapsed returns the total integrated time.
+func (m *Meter) Elapsed() sim.Time { return m.elapsed }
+
+// AveragePower returns the mean power draw in watts over the integrated
+// time, or 0 if nothing was integrated.
+func (m *Meter) AveragePower() float64 {
+	if m.elapsed <= 0 {
+		return 0
+	}
+	return m.joules / m.elapsed.Seconds()
+}
+
+// JoulesAt returns the energy consumed while at frequency f.
+func (m *Meter) JoulesAt(f cpufreq.Freq) float64 { return m.byFreq[f] }
+
+// Savings returns the relative energy saving of this meter against a
+// baseline meter: (baseline - this) / baseline. It returns 0 when the
+// baseline consumed nothing.
+func Savings(baseline, m *Meter) float64 {
+	if baseline == nil || m == nil || baseline.Joules() <= 0 {
+		return 0
+	}
+	return (baseline.Joules() - m.Joules()) / baseline.Joules()
+}

@@ -1,0 +1,108 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"pasched/internal/cpufreq"
+	"pasched/internal/sim"
+)
+
+func TestNewMeterRejectsInvalidProfile(t *testing.T) {
+	p := cpufreq.Optiplex755()
+	p.States = p.States[:1]
+	if _, err := NewMeter(p); err == nil {
+		t.Error("NewMeter accepted invalid profile")
+	}
+}
+
+func TestMeterIntegration(t *testing.T) {
+	prof := cpufreq.Optiplex755()
+	m, err := NewMeter(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(10*sim.Second, 2667, 1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := prof.Power(2667, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p * 10
+	if math.Abs(m.Joules()-want) > 1e-9 {
+		t.Errorf("Joules = %v, want %v", m.Joules(), want)
+	}
+	if m.Elapsed() != 10*sim.Second {
+		t.Errorf("Elapsed = %v, want 10s", m.Elapsed())
+	}
+	if math.Abs(m.AveragePower()-p) > 1e-9 {
+		t.Errorf("AveragePower = %v, want %v", m.AveragePower(), p)
+	}
+	if math.Abs(m.JoulesAt(2667)-want) > 1e-9 {
+		t.Errorf("JoulesAt(2667) = %v, want %v", m.JoulesAt(2667), want)
+	}
+	if m.JoulesAt(1600) != 0 {
+		t.Errorf("JoulesAt(1600) = %v, want 0", m.JoulesAt(1600))
+	}
+}
+
+func TestMeterErrors(t *testing.T) {
+	m, err := NewMeter(cpufreq.Optiplex755())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(-1, 2667, 0.5); err == nil {
+		t.Error("Add(negative dt) succeeded")
+	}
+	if err := m.Add(sim.Second, 1234, 0.5); err == nil {
+		t.Error("Add(unsupported freq) succeeded")
+	}
+}
+
+func TestLowFrequencyUsesLessEnergy(t *testing.T) {
+	prof := cpufreq.Optiplex755()
+	lo, err := NewMeter(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := NewMeter(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same utilization, different frequencies.
+	if err := lo.Add(100*sim.Second, 1600, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := hi.Add(100*sim.Second, 2667, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if lo.Joules() >= hi.Joules() {
+		t.Errorf("energy at 1600 (%v J) not below 2667 (%v J)", lo.Joules(), hi.Joules())
+	}
+	s := Savings(hi, lo)
+	if s <= 0 || s >= 1 {
+		t.Errorf("Savings = %v, want in (0,1)", s)
+	}
+}
+
+func TestSavingsEdgeCases(t *testing.T) {
+	prof := cpufreq.Optiplex755()
+	m, err := NewMeter(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Savings(nil, m) != 0 || Savings(m, nil) != 0 {
+		t.Error("Savings with nil meters not 0")
+	}
+	empty, err := NewMeter(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Savings(empty, m) != 0 {
+		t.Error("Savings with empty baseline not 0")
+	}
+	if m.AveragePower() != 0 {
+		t.Error("AveragePower of empty meter not 0")
+	}
+}

@@ -1,0 +1,187 @@
+// Package experiments reproduces every figure and table of the paper's
+// evaluation (Section 5) on the simulated host, plus the ablations the
+// paper discusses qualitatively (implementation level, energy). Each
+// experiment returns a Result holding paper-style tables, figure series
+// and shape checks (paper claim vs measured value), and can be rendered as
+// text for the CLI or recorded by the benchmark harness.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pasched/internal/metrics"
+)
+
+// Check is one shape assertion: the paper's claim, the measured value, and
+// whether the measured value falls in the accepted band.
+type Check struct {
+	// Name describes what is being checked, e.g. "V20 global load, phase 1".
+	Name string
+	// Paper is the paper's reported value or claim.
+	Paper string
+	// Measured is this reproduction's value.
+	Measured string
+	// Pass reports whether the measured value reproduces the claim.
+	Pass bool
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	// ID is the registry key, e.g. "fig5".
+	ID string
+	// Title is the experiment's descriptive title.
+	Title string
+	// Tables holds paper-style tables (Table 1, Table 2, Figure 1's rows).
+	Tables []*metrics.Table
+	// Series holds figure time series (loads in percent, frequency in MHz).
+	Series []*metrics.Series
+	// Checks holds the shape assertions.
+	Checks []Check
+	// Notes holds free-form commentary (substitutions, scaling).
+	Notes []string
+}
+
+// Passed reports whether every check passed.
+func (r *Result) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// FailedChecks returns the names of failing checks.
+func (r *Result) FailedChecks() []string {
+	var out []string
+	for _, c := range r.Checks {
+		if !c.Pass {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// Render formats the result as text: tables, an ASCII rendering of the
+// series, the checks, and the notes.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteByte('\n')
+		b.WriteString(t.Render())
+	}
+	if len(r.Series) > 0 {
+		b.WriteByte('\n')
+		b.WriteString(metrics.ASCIIChart(96, 20, r.Series...))
+	}
+	if len(r.Checks) > 0 {
+		ct := metrics.NewTable("Shape checks (paper vs measured)",
+			"check", "paper", "measured", "ok")
+		for _, c := range r.Checks {
+			ok := "PASS"
+			if !c.Pass {
+				ok = "FAIL"
+			}
+			ct.AddRow(c.Name, c.Paper, c.Measured, ok)
+		}
+		b.WriteByte('\n')
+		b.WriteString(ct.Render())
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\nnote: %s\n", n)
+	}
+	return b.String()
+}
+
+// entry is one registered experiment.
+type entry struct {
+	id    string
+	title string
+	run   func() (*Result, error)
+}
+
+// registry lists every experiment in the paper's order.
+var registry = []entry{
+	{"verify", "Section 5.2: proportionality assumptions (equations 1-3)", Verify},
+	{"fig1", "Figure 1: compensation of frequency reduction with credit allocation", Fig1},
+	{"fig2", "Figure 2: load profile at the maximum frequency", Fig2},
+	{"fig3", "Figure 3: global loads, stock Ondemand / Credit / exact load", Fig3},
+	{"fig4", "Figure 4: global loads, paper governor / Credit / exact load", Fig4},
+	{"fig5", "Figure 5: absolute loads, paper governor / Credit / exact load", Fig5},
+	{"fig6", "Figure 6: global loads, paper governor / SEDF / exact load", Fig6},
+	{"fig7", "Figure 7: absolute loads, paper governor / SEDF / exact load", Fig7},
+	{"fig8", "Figure 8: global=absolute loads, SEDF / thrashing load", Fig8},
+	{"fig9", "Figure 9: global loads, PAS / thrashing load", Fig9},
+	{"fig10", "Figure 10: absolute loads, PAS / thrashing load", Fig10},
+	{"table1", "Table 1: cf_min on different processors", Table1},
+	{"table2", "Table 2: execution times on different virtualization platforms", Table2},
+	{"ablation-impl", "Section 4.1 ablation: in-scheduler vs user-level implementations", AblationImpl},
+	{"ablation-governors", "Section 2.2 ablation: governor families compared", AblationGovernors},
+	{"energy", "Energy ablation: joules and QoS per scheduler/governor pair", Energy},
+	{"ext-multicore", "Extension (Section 7): per-core vs per-socket DVFS under PAS", ExtMulticore},
+	{"ext-consolidation", "Extension (Section 2.3): consolidation and DVFS complementarity", ExtConsolidation},
+}
+
+// IDs returns the registered experiment identifiers in the paper's order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.id
+	}
+	return out
+}
+
+// Title returns the title of the experiment with the given id.
+func Title(id string) (string, error) {
+	for _, e := range registry {
+		if e.id == id {
+			return e.title, nil
+		}
+	}
+	return "", fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// Run executes the experiment with the given id.
+func Run(id string) (*Result, error) {
+	for _, e := range registry {
+		if e.id == id {
+			r, err := e.run()
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s: %w", id, err)
+			}
+			return r, nil
+		}
+	}
+	ids := IDs()
+	sort.Strings(ids)
+	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)",
+		id, strings.Join(ids, ", "))
+}
+
+// checkNear builds a Check asserting measured is within tol of want.
+func checkNear(name, paper string, measured, want, tol float64) Check {
+	return Check{
+		Name:     name,
+		Paper:    paper,
+		Measured: metrics.Fmt(measured, 2),
+		Pass:     measured >= want-tol && measured <= want+tol,
+	}
+}
+
+// checkBetween builds a Check asserting lo <= measured <= hi.
+func checkBetween(name, paper string, measured, lo, hi float64) Check {
+	return Check{
+		Name:     name,
+		Paper:    paper,
+		Measured: metrics.Fmt(measured, 2),
+		Pass:     measured >= lo && measured <= hi,
+	}
+}
+
+// checkTrue builds a Check from a boolean with a free-form measured label.
+func checkTrue(name, paper, measured string, ok bool) Check {
+	return Check{Name: name, Paper: paper, Measured: measured, Pass: ok}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pasched/internal/metrics"
+)
+
+// Trace runs one Section 5.3 scenario with the named configuration and
+// returns the full recorder, for CSV export by cmd/pastrace. Valid
+// schedulers: "credit", "credit2", "sedf", "pas". Valid governors:
+// "performance", "ondemand" (stock), "paper", "none". Valid loads:
+// "exact", "thrashing".
+func Trace(scheduler, gov, load string, seed uint64) (*metrics.Recorder, error) {
+	var sk schedKind
+	switch scheduler {
+	case "credit":
+		sk = schedCredit
+	case "credit2":
+		sk = schedCredit2
+	case "sedf":
+		sk = schedSEDF
+	case "pas":
+		sk = schedPAS
+	default:
+		return nil, fmt.Errorf("experiments: unknown scheduler %q (credit, credit2, sedf, pas)", scheduler)
+	}
+	var gk govKind
+	switch gov {
+	case "performance":
+		gk = govPerformance
+	case "ondemand":
+		gk = govLinuxOndemand
+	case "paper":
+		gk = govPaperOndemand
+	case "none":
+		gk = govNone
+	default:
+		return nil, fmt.Errorf("experiments: unknown governor %q (performance, ondemand, paper, none)", gov)
+	}
+	var lk loadKind
+	switch load {
+	case "exact":
+		lk = loadExact
+	case "thrashing":
+		lk = loadThrashing
+	default:
+		return nil, fmt.Errorf("experiments: unknown load %q (exact, thrashing)", load)
+	}
+	if sk == schedPAS && gk != govNone {
+		return nil, fmt.Errorf("experiments: the pas scheduler manages DVFS itself; use -gov none")
+	}
+	sc, err := newScenario(sk, gk, lk, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := sc.run(); err != nil {
+		return nil, err
+	}
+	return sc.host.Recorder(), nil
+}

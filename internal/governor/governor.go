@@ -1,0 +1,293 @@
+// Package governor implements the DVFS governors discussed in Sections 2.2
+// and 5.4 of the paper:
+//
+//   - Performance, Powersave, Userspace, Conservative: the standard Linux
+//     cpufreq governors.
+//   - LinuxOndemand: the stock Ondemand governor, which the paper found
+//     "quite aggressive and unstable" (Figure 3).
+//   - PaperOndemand: the paper's own governor, "less aggressive and more
+//     stable, and consequently saves less energy" (Figure 4). It averages
+//     three successive utilization samples (the paper's footnote 5) and
+//     selects frequencies on the absolute load with hysteresis.
+//
+// Governors are passive policies: the host calls Tick every scheduling
+// quantum with cumulative counters, and the governor answers with a target
+// frequency when its internal sampling period has elapsed.
+package governor
+
+import (
+	"fmt"
+
+	"pasched/internal/cpufreq"
+	"pasched/internal/sim"
+)
+
+// Stats is the signal a governor observes. All counters are cumulative
+// since the start of the simulation so that governors can compute
+// utilizations over their own sampling windows by differencing.
+type Stats struct {
+	// Now is the current simulated time.
+	Now sim.Time
+	// CumBusy is the total busy CPU time so far.
+	CumBusy sim.Time
+	// CumWork is the total executed work in work units so far.
+	CumWork float64
+	// Cur is the current processor frequency.
+	Cur cpufreq.Freq
+	// Prof is the processor's architecture profile.
+	Prof *cpufreq.Profile
+}
+
+// Governor decides the processor frequency from observed utilization.
+// Implementations are not safe for concurrent use.
+type Governor interface {
+	// Name identifies the policy, e.g. "ondemand".
+	Name() string
+	// Tick observes the current statistics. It returns the desired
+	// frequency and true when the governor wants the frequency (re)set;
+	// (0, false) means no decision this quantum.
+	Tick(stats Stats) (cpufreq.Freq, bool)
+}
+
+// Performance pins the processor at the maximum frequency.
+type Performance struct {
+	applied bool
+}
+
+// Name implements Governor.
+func (g *Performance) Name() string { return "performance" }
+
+// Tick implements Governor.
+func (g *Performance) Tick(st Stats) (cpufreq.Freq, bool) {
+	if g.applied && st.Cur == st.Prof.Max() {
+		return 0, false
+	}
+	g.applied = true
+	return st.Prof.Max(), true
+}
+
+// Powersave pins the processor at the minimum frequency.
+type Powersave struct {
+	applied bool
+}
+
+// Name implements Governor.
+func (g *Powersave) Name() string { return "powersave" }
+
+// Tick implements Governor.
+func (g *Powersave) Tick(st Stats) (cpufreq.Freq, bool) {
+	if g.applied && st.Cur == st.Prof.Min() {
+		return 0, false
+	}
+	g.applied = true
+	return st.Prof.Min(), true
+}
+
+// Userspace lets an application set the frequency manually, as the Linux
+// userspace governor does for tools like cpufreq-set.
+type Userspace struct {
+	target  cpufreq.Freq
+	pending bool
+}
+
+// Name implements Governor.
+func (g *Userspace) Name() string { return "userspace" }
+
+// Set requests frequency f at the next tick.
+func (g *Userspace) Set(f cpufreq.Freq) {
+	g.target = f
+	g.pending = true
+}
+
+// Tick implements Governor.
+func (g *Userspace) Tick(Stats) (cpufreq.Freq, bool) {
+	if !g.pending {
+		return 0, false
+	}
+	g.pending = false
+	return g.target, true
+}
+
+// Clamped wraps a governor and bounds its decisions to a floor P-state.
+// It models hypervisor power policies that do not use the deepest
+// P-states (e.g. "balanced" policies on commercial hypervisors): the
+// wrapped governor's decisions below the floor are raised to the floor.
+type Clamped struct {
+	// Inner is the wrapped governor. Required.
+	Inner Governor
+	// FloorIndex is the lowest P-state index the policy may select.
+	FloorIndex int
+}
+
+// Name implements Governor.
+func (c *Clamped) Name() string { return c.Inner.Name() + "-clamped" }
+
+// Tick implements Governor.
+func (c *Clamped) Tick(st Stats) (cpufreq.Freq, bool) {
+	f, ok := c.Inner.Tick(st)
+	if !ok {
+		return 0, false
+	}
+	idx := c.FloorIndex
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= st.Prof.Levels() {
+		idx = st.Prof.Levels() - 1
+	}
+	if floor := st.Prof.States[idx].Freq; f < floor {
+		f = floor
+	}
+	return f, true
+}
+
+// utilSampler computes utilization over fixed sampling intervals from the
+// cumulative busy counter.
+type utilSampler struct {
+	interval sim.Time
+	lastT    sim.Time
+	lastBusy sim.Time
+}
+
+// sample returns (utilization, true) when a full interval has elapsed.
+func (s *utilSampler) sample(st Stats) (float64, bool) {
+	if st.Now-s.lastT < s.interval {
+		return 0, false
+	}
+	util := float64(st.CumBusy-s.lastBusy) / float64(st.Now-s.lastT)
+	s.lastT = st.Now
+	s.lastBusy = st.CumBusy
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	return util, true
+}
+
+// LinuxOndemand models the stock Ondemand governor: it samples utilization
+// over short windows and, on every sample, either jumps straight to the
+// maximum frequency (load at or above the up-threshold) or drops to the
+// lowest frequency that would keep the observed load below the threshold.
+// The short memoryless window is what makes it oscillate under bursty web
+// load (Figure 3).
+type LinuxOndemand struct {
+	sampler     utilSampler
+	upThreshold float64 // percent, default 80
+}
+
+// LinuxOndemandConfig configures the stock ondemand model.
+type LinuxOndemandConfig struct {
+	// SamplingInterval defaults to 10 ms, the kernel's default
+	// sampling_rate in the Xen 4.1 era. The short memoryless window is
+	// what makes the stock governor "quite aggressive and unstable"
+	// (Section 5.4) under bursty load.
+	SamplingInterval sim.Time
+	// UpThreshold is the percent load that triggers a jump to the
+	// maximum frequency; default 80 (the kernel default).
+	UpThreshold float64
+}
+
+// NewLinuxOndemand returns a stock-ondemand governor.
+func NewLinuxOndemand(cfg LinuxOndemandConfig) (*LinuxOndemand, error) {
+	if cfg.SamplingInterval == 0 {
+		cfg.SamplingInterval = 10 * sim.Millisecond
+	}
+	if cfg.SamplingInterval < 0 {
+		return nil, fmt.Errorf("governor: negative sampling interval %v", cfg.SamplingInterval)
+	}
+	if cfg.UpThreshold == 0 {
+		cfg.UpThreshold = 80
+	}
+	if cfg.UpThreshold <= 0 || cfg.UpThreshold > 100 {
+		return nil, fmt.Errorf("governor: up-threshold %v outside (0,100]", cfg.UpThreshold)
+	}
+	return &LinuxOndemand{
+		sampler:     utilSampler{interval: cfg.SamplingInterval},
+		upThreshold: cfg.UpThreshold,
+	}, nil
+}
+
+// Name implements Governor.
+func (g *LinuxOndemand) Name() string { return "ondemand" }
+
+// Tick implements Governor.
+func (g *LinuxOndemand) Tick(st Stats) (cpufreq.Freq, bool) {
+	util, ok := g.sampler.sample(st)
+	if !ok {
+		return 0, false
+	}
+	load := util * 100
+	if load >= g.upThreshold {
+		return st.Prof.Max(), true
+	}
+	// Scale down to the lowest frequency that keeps the load under the
+	// threshold: load scales by cur/f when moving to frequency f.
+	needed := float64(st.Cur) * load / g.upThreshold
+	return st.Prof.FloorFor(cpufreq.Freq(needed + 1)), true
+}
+
+// Conservative models the Linux conservative governor: it moves one ladder
+// step at a time, up when load exceeds the up-threshold and down when load
+// falls below the down-threshold.
+type Conservative struct {
+	sampler       utilSampler
+	upThreshold   float64
+	downThreshold float64
+}
+
+// ConservativeConfig configures the conservative governor.
+type ConservativeConfig struct {
+	// SamplingInterval defaults to 100 ms.
+	SamplingInterval sim.Time
+	// UpThreshold defaults to 80 (percent).
+	UpThreshold float64
+	// DownThreshold defaults to 20 (percent), the kernel default.
+	DownThreshold float64
+}
+
+// NewConservative returns a conservative governor.
+func NewConservative(cfg ConservativeConfig) (*Conservative, error) {
+	if cfg.SamplingInterval == 0 {
+		cfg.SamplingInterval = 100 * sim.Millisecond
+	}
+	if cfg.UpThreshold == 0 {
+		cfg.UpThreshold = 80
+	}
+	if cfg.DownThreshold == 0 {
+		cfg.DownThreshold = 20
+	}
+	if cfg.DownThreshold >= cfg.UpThreshold {
+		return nil, fmt.Errorf("governor: down-threshold %v not below up-threshold %v",
+			cfg.DownThreshold, cfg.UpThreshold)
+	}
+	return &Conservative{
+		sampler:       utilSampler{interval: cfg.SamplingInterval},
+		upThreshold:   cfg.UpThreshold,
+		downThreshold: cfg.DownThreshold,
+	}, nil
+}
+
+// Name implements Governor.
+func (g *Conservative) Name() string { return "conservative" }
+
+// Tick implements Governor.
+func (g *Conservative) Tick(st Stats) (cpufreq.Freq, bool) {
+	util, ok := g.sampler.sample(st)
+	if !ok {
+		return 0, false
+	}
+	load := util * 100
+	idx, err := st.Prof.Index(st.Cur)
+	if err != nil {
+		return 0, false
+	}
+	switch {
+	case load > g.upThreshold && idx < st.Prof.Levels()-1:
+		return st.Prof.States[idx+1].Freq, true
+	case load < g.downThreshold && idx > 0:
+		return st.Prof.States[idx-1].Freq, true
+	}
+	return 0, false
+}

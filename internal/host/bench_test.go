@@ -1,0 +1,82 @@
+package host_test
+
+import (
+	"testing"
+
+	"pasched/internal/core"
+	"pasched/internal/cpufreq"
+	"pasched/internal/host"
+	"pasched/internal/sched"
+	"pasched/internal/sim"
+	"pasched/internal/vm"
+	"pasched/internal/workload"
+)
+
+// benchHost builds a 3-VM host for throughput benchmarks.
+func benchHost(b *testing.B, s sched.Scheduler, bind func(h *host.Host)) *host.Host {
+	b.Helper()
+	h, err := host.New(host.Config{Profile: cpufreq.Optiplex755(), Scheduler: s})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if bind != nil {
+		bind(h)
+	}
+	for i, credit := range []float64{10, 20, 70} {
+		v, err := vm.New(vm.ID(i), vm.Config{Credit: credit})
+		if err != nil {
+			b.Fatal(err)
+		}
+		v.SetWorkload(&workload.Hog{})
+		if err := h.AddVM(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return h
+}
+
+// BenchmarkHostStepCredit measures simulation throughput (quanta/op) with
+// the Credit scheduler: one op advances one simulated second (1000 quanta).
+func BenchmarkHostStepCredit(b *testing.B) {
+	h := benchHost(b, sched.NewCredit(sched.CreditConfig{}), nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Run(sim.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHostStepPAS measures simulation throughput with the full PAS
+// loop (per-tick frequency and credit recomputation) enabled.
+func BenchmarkHostStepPAS(b *testing.B) {
+	cpu, err := cpufreq.NewCPU(cpufreq.Optiplex755())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pas, err := core.NewPAS(core.PASConfig{CPU: cpu})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := host.New(host.Config{CPU: cpu, Scheduler: pas})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pas.BindLoadSource(h)
+	for i, credit := range []float64{10, 20, 70} {
+		v, err := vm.New(vm.ID(i), vm.Config{Credit: credit})
+		if err != nil {
+			b.Fatal(err)
+		}
+		v.SetWorkload(&workload.Hog{})
+		if err := h.AddVM(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Run(sim.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,395 @@
+// Package host composes the simulated virtualized machine: one processor
+// with DVFS (internal/cpufreq), a VM scheduler (internal/sched or the PAS
+// scheduler in internal/core), an optional DVFS governor
+// (internal/governor), the VMs and their workloads, plus measurement
+// (internal/metrics) and energy accounting (internal/energy).
+//
+// The host advances simulated time in fixed scheduling quanta (1 ms by
+// default, finer than Xen's 30 ms timeslice so that load traces are
+// smooth). Every quantum it fires due events, generates workload arrivals,
+// lets the scheduler pick a VM, executes the VM at the processor's current
+// throughput, charges the scheduler, integrates energy, and drives the
+// governor and any user-level agents.
+package host
+
+import (
+	"fmt"
+
+	"pasched/internal/cpufreq"
+	"pasched/internal/energy"
+	"pasched/internal/governor"
+	"pasched/internal/metrics"
+	"pasched/internal/sched"
+	"pasched/internal/sim"
+	"pasched/internal/vm"
+)
+
+// Config configures a Host.
+type Config struct {
+	// CPU is the processor to drive. When nil, a CPU is built from
+	// Profile.
+	CPU *cpufreq.CPU
+	// Profile is the processor architecture; required when CPU is nil.
+	Profile *cpufreq.Profile
+	// Scheduler is the VM scheduler. Required.
+	Scheduler sched.Scheduler
+	// Governor is the DVFS governor; nil means no governor (the
+	// frequency stays wherever the scheduler or callers put it, which is
+	// how the in-scheduler PAS variant runs).
+	Governor governor.Governor
+	// Quantum is the scheduling quantum; default 1 ms.
+	Quantum sim.Time
+	// SampleInterval is the recorder sampling interval; default 1 s.
+	SampleInterval sim.Time
+	// MeterInterval is the load-meter sub-sampling interval used by the
+	// GlobalLoad signal consumed by PAS; default 100 ms.
+	MeterInterval sim.Time
+	// MeterDepth is the number of successive meter samples averaged;
+	// default 3, the paper's footnote-5 convention.
+	MeterDepth int
+}
+
+// Agent is a periodic user-level component running on the host, such as
+// the paper's user-level credit managers (Section 4.1). Run is invoked at
+// every Interval boundary.
+type Agent interface {
+	// Interval is the agent's polling period.
+	Interval() sim.Time
+	// Run executes one iteration at simulated time now.
+	Run(now sim.Time)
+}
+
+type agentEntry struct {
+	agent Agent
+	next  sim.Time
+}
+
+// Host is the simulated virtualized machine.
+type Host struct {
+	cfg       Config
+	clock     sim.Clock
+	events    sim.Queue
+	cpu       *cpufreq.CPU
+	scheduler sched.Scheduler
+	gov       governor.Governor
+	vms       []*vm.VM
+	byID      map[vm.ID]*vm.VM
+
+	cumBusy sim.Time
+	cumWork float64
+	vmBusy  map[vm.ID]sim.Time
+	vmWork  map[vm.ID]float64
+
+	meter     *metrics.DeltaMeter
+	nextMeter sim.Time
+
+	rec         *metrics.Recorder
+	nextSample  sim.Time
+	lastSampleT sim.Time
+	prevBusy    sim.Time
+	prevWork    float64
+	prevVMBusy  map[vm.ID]sim.Time
+	prevVMWork  map[vm.ID]float64
+
+	energy *energy.Meter
+	agents []agentEntry
+	maxTp  float64 // throughput at maximum frequency, cached
+}
+
+// New builds a host from the configuration. It validates the configuration
+// and initializes meters, recorder and energy accounting.
+func New(cfg Config) (*Host, error) {
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("host: scheduler is required")
+	}
+	cpu := cfg.CPU
+	if cpu == nil {
+		if cfg.Profile == nil {
+			return nil, fmt.Errorf("host: either CPU or Profile is required")
+		}
+		var err error
+		cpu, err = cpufreq.NewCPU(cfg.Profile)
+		if err != nil {
+			return nil, fmt.Errorf("host: %w", err)
+		}
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = sim.Millisecond
+	}
+	if cfg.Quantum <= 0 {
+		return nil, fmt.Errorf("host: quantum must be positive, got %v", cfg.Quantum)
+	}
+	if cfg.SampleInterval == 0 {
+		cfg.SampleInterval = sim.Second
+	}
+	if cfg.MeterInterval == 0 {
+		cfg.MeterInterval = 100 * sim.Millisecond
+	}
+	if cfg.MeterDepth == 0 {
+		cfg.MeterDepth = 3
+	}
+	if cfg.SampleInterval < cfg.Quantum || cfg.MeterInterval < cfg.Quantum {
+		return nil, fmt.Errorf("host: sampling intervals must be >= quantum")
+	}
+	meter, err := metrics.NewDeltaMeter(cfg.MeterInterval, cfg.MeterDepth)
+	if err != nil {
+		return nil, fmt.Errorf("host: %w", err)
+	}
+	em, err := energy.NewMeter(cpu.Profile())
+	if err != nil {
+		return nil, fmt.Errorf("host: %w", err)
+	}
+	maxTp, err := cpu.Profile().Throughput(cpu.Profile().Max())
+	if err != nil {
+		return nil, fmt.Errorf("host: %w", err)
+	}
+	return &Host{
+		cfg:        cfg,
+		cpu:        cpu,
+		scheduler:  cfg.Scheduler,
+		gov:        cfg.Governor,
+		byID:       make(map[vm.ID]*vm.VM),
+		vmBusy:     make(map[vm.ID]sim.Time),
+		vmWork:     make(map[vm.ID]float64),
+		meter:      meter,
+		nextMeter:  cfg.MeterInterval,
+		rec:        metrics.NewRecorder(),
+		nextSample: cfg.SampleInterval,
+		prevVMBusy: make(map[vm.ID]sim.Time),
+		prevVMWork: make(map[vm.ID]float64),
+		energy:     em,
+		maxTp:      maxTp,
+	}, nil
+}
+
+// AddVM registers a VM with the host and its scheduler.
+func (h *Host) AddVM(v *vm.VM) error {
+	if v == nil {
+		return fmt.Errorf("host: add nil VM")
+	}
+	if _, dup := h.byID[v.ID()]; dup {
+		return fmt.Errorf("host: duplicate VM id %d", v.ID())
+	}
+	if err := h.scheduler.Add(v); err != nil {
+		return fmt.Errorf("host: %w", err)
+	}
+	h.byID[v.ID()] = v
+	h.vms = append(h.vms, v)
+	return nil
+}
+
+// RemoveVM unregisters a VM (shutdown or migration away) from the host and
+// its scheduler. Its accounting series stop advancing but remain recorded.
+func (h *Host) RemoveVM(id vm.ID) error {
+	if _, ok := h.byID[id]; !ok {
+		return fmt.Errorf("host: unknown VM id %d", id)
+	}
+	if err := h.scheduler.Remove(id); err != nil {
+		return fmt.Errorf("host: %w", err)
+	}
+	delete(h.byID, id)
+	for i, v := range h.vms {
+		if v.ID() == id {
+			h.vms = append(h.vms[:i], h.vms[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// VM returns the VM with the given id, or nil.
+func (h *Host) VM(id vm.ID) *vm.VM { return h.byID[id] }
+
+// VMs returns the host's VMs in registration order.
+func (h *Host) VMs() []*vm.VM {
+	out := make([]*vm.VM, len(h.vms))
+	copy(out, h.vms)
+	return out
+}
+
+// CPU returns the host's processor.
+func (h *Host) CPU() *cpufreq.CPU { return h.cpu }
+
+// Scheduler returns the host's VM scheduler.
+func (h *Host) Scheduler() sched.Scheduler { return h.scheduler }
+
+// Recorder returns the host's time-series recorder.
+func (h *Host) Recorder() *metrics.Recorder { return h.rec }
+
+// Energy returns the host's energy meter.
+func (h *Host) Energy() *energy.Meter { return h.energy }
+
+// Now returns the current simulated time.
+func (h *Host) Now() sim.Time { return h.clock.Now() }
+
+// GlobalLoad returns the averaged recent processor utilization in [0,1],
+// the paper's Global load signal (average of three successive utilization
+// measurements). The PAS scheduler consumes this through the
+// core.LoadSource interface.
+func (h *Host) GlobalLoad() float64 { return h.meter.Average() }
+
+// CumulativeBusy returns the total busy CPU time so far.
+func (h *Host) CumulativeBusy() sim.Time { return h.cumBusy }
+
+// CumulativeWork returns the total executed work so far, in work units.
+func (h *Host) CumulativeWork() float64 { return h.cumWork }
+
+// VMBusy returns the total busy CPU time granted to the VM so far.
+func (h *Host) VMBusy(id vm.ID) sim.Time { return h.vmBusy[id] }
+
+// Schedule enqueues fn to run at simulated time at (e.g. a workload swap
+// or a VM pause).
+func (h *Host) Schedule(at sim.Time, fn func(now sim.Time)) {
+	h.events.Schedule(at, fn)
+}
+
+// AddAgent registers a periodic agent. The agent first runs one interval
+// from now.
+func (h *Host) AddAgent(a Agent) error {
+	if a == nil {
+		return fmt.Errorf("host: add nil agent")
+	}
+	if a.Interval() <= 0 {
+		return fmt.Errorf("host: agent interval must be positive, got %v", a.Interval())
+	}
+	h.agents = append(h.agents, agentEntry{agent: a, next: h.clock.Now() + a.Interval()})
+	return nil
+}
+
+// Run advances the simulation by d.
+func (h *Host) Run(d sim.Time) error {
+	return h.RunUntil(h.clock.Now() + d)
+}
+
+// RunUntil advances the simulation until simulated time t.
+func (h *Host) RunUntil(t sim.Time) error {
+	for h.clock.Now() < t {
+		if err := h.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// step executes one scheduling quantum.
+func (h *Host) step() error {
+	now := h.clock.Now()
+	if _, err := h.events.RunDue(now); err != nil {
+		return fmt.Errorf("host: %w", err)
+	}
+	for _, v := range h.vms {
+		v.Tick(now)
+	}
+	h.cpu.Advance(now)
+
+	end := now + h.cfg.Quantum
+	util := 0.0
+	if picked := h.scheduler.Pick(now); picked != nil {
+		capWork := h.cpu.Throughput() * h.cfg.Quantum.Seconds()
+		done := picked.Consume(capWork, end)
+		if done > 0 {
+			frac := done / capWork
+			if frac > 1 {
+				frac = 1
+			}
+			busy := sim.Time(float64(h.cfg.Quantum)*frac + 0.5)
+			if busy > h.cfg.Quantum {
+				busy = h.cfg.Quantum
+			}
+			picked.AddCPUTime(busy)
+			h.scheduler.Charge(picked, busy, end)
+			h.cumBusy += busy
+			h.vmBusy[picked.ID()] += busy
+			h.cumWork += done
+			h.vmWork[picked.ID()] += done
+			util = frac
+		}
+	}
+	if err := h.energy.Add(h.cfg.Quantum, h.cpu.Freq(), util); err != nil {
+		return fmt.Errorf("host: %w", err)
+	}
+	h.scheduler.Tick(end)
+
+	for end >= h.nextMeter {
+		h.meter.Sample(h.nextMeter, h.cumBusy)
+		h.nextMeter += h.cfg.MeterInterval
+	}
+	if h.gov != nil {
+		st := governor.Stats{
+			Now:     end,
+			CumBusy: h.cumBusy,
+			CumWork: h.cumWork,
+			Cur:     h.cpu.Freq(),
+			Prof:    h.cpu.Profile(),
+		}
+		if f, ok := h.gov.Tick(st); ok {
+			if err := h.cpu.SetFreq(f, end); err != nil {
+				return fmt.Errorf("host: governor: %w", err)
+			}
+		}
+	}
+	for i := range h.agents {
+		for end >= h.agents[i].next {
+			h.agents[i].agent.Run(h.agents[i].next)
+			h.agents[i].next += h.agents[i].agent.Interval()
+		}
+	}
+	for end >= h.nextSample {
+		h.sample(h.nextSample)
+		h.nextSample += h.cfg.SampleInterval
+	}
+	return h.clock.Advance(h.cfg.Quantum)
+}
+
+// capReader returns the function used to read per-VM caps for the traces:
+// the enforced (frequency-compensated) cap when the scheduler reports one,
+// otherwise the plain cap, otherwise nil.
+func (h *Host) capReader() func(vm.ID) (float64, error) {
+	if ec, ok := h.scheduler.(sched.EffectiveCapper); ok {
+		return ec.EffectiveCap
+	}
+	if cs, ok := h.scheduler.(sched.CapSetter); ok {
+		return cs.Cap
+	}
+	return nil
+}
+
+// sample records one point of every recorded series at time now. Loads are
+// recorded in percent, as in the paper's figures.
+func (h *Host) sample(now sim.Time) {
+	dt := float64(now - h.lastSampleT)
+	if dt <= 0 {
+		return
+	}
+	dtSec := sim.Time(dt).Seconds()
+	t := now.Seconds()
+
+	h.rec.Series("freq_mhz").Add(t, float64(h.cpu.Freq()))
+	globalPct := float64(h.cumBusy-h.prevBusy) / dt * 100
+	h.rec.Series("global_load_pct").Add(t, globalPct)
+	absPct := (h.cumWork - h.prevWork) / (h.maxTp * dtSec) * 100
+	h.rec.Series("absolute_load_pct").Add(t, absPct)
+
+	capOf := h.capReader()
+	for _, v := range h.vms {
+		id := v.ID()
+		name := v.Name()
+		gl := float64(h.vmBusy[id]-h.prevVMBusy[id]) / dt * 100
+		h.rec.Series(name+"_global_pct").Add(t, gl)
+		ab := (h.vmWork[id] - h.prevVMWork[id]) / (h.maxTp * dtSec) * 100
+		h.rec.Series(name+"_absolute_pct").Add(t, ab)
+		if v.Credit() > 0 {
+			h.rec.Series(name+"_vmload_pct").Add(t, gl/v.Credit()*100)
+		}
+		if capOf != nil {
+			if cap, err := capOf(id); err == nil {
+				h.rec.Series(name+"_cap_pct").Add(t, cap)
+			}
+		}
+		h.prevVMBusy[id] = h.vmBusy[id]
+		h.prevVMWork[id] = h.vmWork[id]
+	}
+	h.prevBusy = h.cumBusy
+	h.prevWork = h.cumWork
+	h.lastSampleT = now
+}

@@ -1,0 +1,220 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes the series as CSV with a shared time column. Series are
+// merged on the union of their timestamps; a series without a value at some
+// timestamp leaves its cell empty.
+func WriteCSV(w io.Writer, series ...*Series) error {
+	if len(series) == 0 {
+		return nil
+	}
+	// Union of timestamps.
+	seen := make(map[float64]bool)
+	var times []float64
+	for _, s := range series {
+		for _, t := range s.T {
+			if !seen[t] {
+				seen[t] = true
+				times = append(times, t)
+			}
+		}
+	}
+	sortFloats(times)
+
+	// Per-series lookup.
+	lookups := make([]map[float64]float64, len(series))
+	for i, s := range series {
+		m := make(map[float64]float64, len(s.T))
+		for j, t := range s.T {
+			m[t] = s.V[j]
+		}
+		lookups[i] = m
+	}
+
+	header := make([]string, 0, len(series)+1)
+	header = append(header, "time_s")
+	for _, s := range series {
+		header = append(header, csvEscape(s.Name))
+	}
+	if _, err := io.WriteString(w, strings.Join(header, ",")+"\n"); err != nil {
+		return fmt.Errorf("metrics: write csv header: %w", err)
+	}
+	row := make([]string, len(series)+1)
+	for _, t := range times {
+		row[0] = strconv.FormatFloat(t, 'g', -1, 64)
+		for i := range series {
+			if v, ok := lookups[i][t]; ok {
+				row[i+1] = strconv.FormatFloat(v, 'g', -1, 64)
+			} else {
+				row[i+1] = ""
+			}
+		}
+		if _, err := io.WriteString(w, strings.Join(row, ",")+"\n"); err != nil {
+			return fmt.Errorf("metrics: write csv row: %w", err)
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func sortFloats(xs []float64) {
+	// Insertion sort is adequate: figure series are already nearly sorted.
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// chartGlyphs are the plotting characters assigned to successive series.
+var chartGlyphs = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// ASCIIChart renders the series into a width x height character chart with
+// a y-axis legend, in the spirit of the paper's gnuplot figures. All series
+// share both axes. Empty input returns an empty string.
+func ASCIIChart(width, height int, series ...*Series) string {
+	if len(series) == 0 || width < 16 || height < 4 {
+		return ""
+	}
+	tMin, tMax := math.Inf(1), math.Inf(-1)
+	vMin, vMax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		points += s.Len()
+		for i := range s.T {
+			tMin = math.Min(tMin, s.T[i])
+			tMax = math.Max(tMax, s.T[i])
+			vMin = math.Min(vMin, s.V[i])
+			vMax = math.Max(vMax, s.V[i])
+		}
+	}
+	if points == 0 {
+		return ""
+	}
+	if vMax == vMin {
+		vMax = vMin + 1
+	}
+	if tMax == tMin {
+		tMax = tMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		glyph := chartGlyphs[si%len(chartGlyphs)]
+		for i := range s.T {
+			x := int((s.T[i] - tMin) / (tMax - tMin) * float64(width-1))
+			y := int((s.V[i] - vMin) / (vMax - vMin) * float64(height-1))
+			row := height - 1 - y
+			if row >= 0 && row < height && x >= 0 && x < width {
+				grid[row][x] = glyph
+			}
+		}
+	}
+
+	var b strings.Builder
+	for i, s := range series {
+		if i > 0 {
+			b.WriteString("   ")
+		}
+		fmt.Fprintf(&b, "%c %s", chartGlyphs[i%len(chartGlyphs)], s.Name)
+	}
+	b.WriteByte('\n')
+	for i, row := range grid {
+		label := ""
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.1f", vMax)
+		case height - 1:
+			label = fmt.Sprintf("%8.1f", vMin)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		b.WriteString(label)
+		b.WriteString(" |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 9) + "+" + strings.Repeat("-", width) + "\n")
+	b.WriteString(fmt.Sprintf("%9s %-10.1f%*s%.1f (s)\n", "", tMin, width-12, "", tMax))
+	return b.String()
+}
+
+// Table is a simple aligned text table used to print the paper's tables.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row. Short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Render returns the table as aligned text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Fmt formats a float for table cells with the given number of decimals.
+func Fmt(v float64, decimals int) string {
+	return strconv.FormatFloat(v, 'f', decimals, 64)
+}

@@ -1,0 +1,277 @@
+// Package multicore extends the single-core reproduction toward the
+// paper's stated perspective: "we plan to extend our scheduler and take
+// into account other technology factors such as hyper-threading,
+// multi-core, per-socket DVFS, and per-core DVFS" (Section 7).
+//
+// The model is a cluster of cores, each a full simulated host (scheduler,
+// VMs, meters) with VMs pinned to cores. A cluster-level PAS coordinator
+// replaces the per-host governor:
+//
+//   - with per-core DVFS, every core independently runs the PAS loop:
+//     lowest frequency absorbing the core's absolute load, credits
+//     compensated per core;
+//   - with per-socket DVFS, all cores share one frequency domain. The
+//     coordinator computes each core's desired frequency and applies the
+//     maximum across cores (the domain must satisfy its hungriest core);
+//     credits on every core are compensated for the shared frequency.
+//
+// The energy comparison between the two policies under asymmetric load is
+// the extension's headline result: per-core DVFS strictly dominates
+// per-socket DVFS, and both preserve every VM's absolute credit.
+package multicore
+
+import (
+	"fmt"
+
+	"pasched/internal/core"
+	"pasched/internal/cpufreq"
+	"pasched/internal/host"
+	"pasched/internal/sched"
+	"pasched/internal/sim"
+	"pasched/internal/vm"
+)
+
+// DVFSDomain selects the frequency-domain granularity.
+type DVFSDomain int
+
+// Frequency domain granularities.
+const (
+	// PerCore gives every core an independent frequency.
+	PerCore DVFSDomain = iota + 1
+	// PerSocket shares one frequency across all cores.
+	PerSocket
+)
+
+// String renders the domain granularity.
+func (d DVFSDomain) String() string {
+	switch d {
+	case PerCore:
+		return "per-core"
+	case PerSocket:
+		return "per-socket"
+	default:
+		return "unknown"
+	}
+}
+
+// Config configures a Cluster.
+type Config struct {
+	// Profile is the per-core architecture. Required.
+	Profile *cpufreq.Profile
+	// Cores is the number of cores; at least 1.
+	Cores int
+	// Domain selects per-core or per-socket DVFS. Default PerCore.
+	Domain DVFSDomain
+	// Step is the lockstep coordination interval; default 100 ms.
+	Step sim.Time
+	// SettleSteps is how many coordination steps a core's frequency is
+	// left alone after a change (the same measurement-misattribution
+	// guard as core.PASConfig.SettleTime). Default 4.
+	SettleSteps int
+	// CapacityMargin is the PAS capacity margin; default 0.02.
+	CapacityMargin float64
+}
+
+// coreState is one core: a single-core host plus coordination state.
+type coreState struct {
+	host        *host.Host
+	cpu         *cpufreq.CPU
+	credit      *sched.Credit
+	initCredit  map[vm.ID]float64
+	settleUntil int // coordination step index
+}
+
+// Cluster is a multi-core host under cluster-level PAS coordination.
+type Cluster struct {
+	cfg   Config
+	cf    []float64
+	cores []*coreState
+	now   sim.Time
+	step  int
+}
+
+// New builds a cluster of identical cores, each with its own Credit
+// scheduler, coordinated by the configured DVFS policy.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Profile == nil {
+		return nil, fmt.Errorf("multicore: profile is required")
+	}
+	if cfg.Cores < 1 {
+		return nil, fmt.Errorf("multicore: need at least 1 core, got %d", cfg.Cores)
+	}
+	if cfg.Domain == 0 {
+		cfg.Domain = PerCore
+	}
+	if cfg.Domain != PerCore && cfg.Domain != PerSocket {
+		return nil, fmt.Errorf("multicore: unknown DVFS domain %d", cfg.Domain)
+	}
+	if cfg.Step == 0 {
+		cfg.Step = 100 * sim.Millisecond
+	}
+	if cfg.Step <= 0 {
+		return nil, fmt.Errorf("multicore: step must be positive, got %v", cfg.Step)
+	}
+	if cfg.SettleSteps == 0 {
+		cfg.SettleSteps = 4
+	}
+	if cfg.SettleSteps < 0 {
+		return nil, fmt.Errorf("multicore: negative settle steps %d", cfg.SettleSteps)
+	}
+	if cfg.CapacityMargin == 0 {
+		cfg.CapacityMargin = 0.02
+	}
+	if cfg.CapacityMargin < 0 {
+		return nil, fmt.Errorf("multicore: negative capacity margin %v", cfg.CapacityMargin)
+	}
+	c := &Cluster{cfg: cfg, cf: cfg.Profile.EfficiencyTable()}
+	for i := 0; i < cfg.Cores; i++ {
+		cpu, err := cpufreq.NewCPU(cfg.Profile)
+		if err != nil {
+			return nil, fmt.Errorf("multicore: core %d: %w", i, err)
+		}
+		credit := sched.NewCredit(sched.CreditConfig{})
+		h, err := host.New(host.Config{CPU: cpu, Scheduler: credit})
+		if err != nil {
+			return nil, fmt.Errorf("multicore: core %d: %w", i, err)
+		}
+		c.cores = append(c.cores, &coreState{
+			host:       h,
+			cpu:        cpu,
+			credit:     credit,
+			initCredit: make(map[vm.ID]float64),
+		})
+	}
+	return c, nil
+}
+
+// Cores returns the number of cores.
+func (c *Cluster) Cores() int { return len(c.cores) }
+
+// Now returns the cluster's simulated time.
+func (c *Cluster) Now() sim.Time { return c.now }
+
+// AddVM pins a VM to the given core. VM IDs must be unique per core.
+func (c *Cluster) AddVM(coreIdx int, v *vm.VM) error {
+	if coreIdx < 0 || coreIdx >= len(c.cores) {
+		return fmt.Errorf("multicore: core index %d out of range [0,%d)", coreIdx, len(c.cores))
+	}
+	cs := c.cores[coreIdx]
+	if err := cs.host.AddVM(v); err != nil {
+		return fmt.Errorf("multicore: %w", err)
+	}
+	cs.initCredit[v.ID()] = v.Credit()
+	return nil
+}
+
+// CoreHost exposes the host of one core (its recorder, energy meter, VMs).
+func (c *Cluster) CoreHost(coreIdx int) (*host.Host, error) {
+	if coreIdx < 0 || coreIdx >= len(c.cores) {
+		return nil, fmt.Errorf("multicore: core index %d out of range [0,%d)", coreIdx, len(c.cores))
+	}
+	return c.cores[coreIdx].host, nil
+}
+
+// CoreFreq returns the current frequency of one core.
+func (c *Cluster) CoreFreq(coreIdx int) (cpufreq.Freq, error) {
+	if coreIdx < 0 || coreIdx >= len(c.cores) {
+		return 0, fmt.Errorf("multicore: core index %d out of range [0,%d)", coreIdx, len(c.cores))
+	}
+	return c.cores[coreIdx].cpu.Freq(), nil
+}
+
+// TotalJoules returns the energy consumed across all cores.
+func (c *Cluster) TotalJoules() float64 {
+	sum := 0.0
+	for _, cs := range c.cores {
+		sum += cs.host.Energy().Joules()
+	}
+	return sum
+}
+
+// Run advances the whole cluster by d, coordinating DVFS at every step.
+func (c *Cluster) Run(d sim.Time) error {
+	target := c.now + d
+	for c.now < target {
+		next := c.now + c.cfg.Step
+		if next > target {
+			next = target
+		}
+		for i, cs := range c.cores {
+			if err := cs.host.RunUntil(next); err != nil {
+				return fmt.Errorf("multicore: core %d: %w", i, err)
+			}
+		}
+		c.now = next
+		c.step++
+		c.coordinate()
+	}
+	return nil
+}
+
+// desiredFreq computes the PAS target frequency for one core.
+func (c *Cluster) desiredFreq(cs *coreState) cpufreq.Freq {
+	prof := cs.cpu.Profile()
+	idx, err := prof.Index(cs.cpu.Freq())
+	if err != nil {
+		return prof.Max()
+	}
+	cf := c.cf[idx]
+	abs := core.AbsoluteLoad(cs.host.GlobalLoad()*100, cs.cpu.Ratio(), cf)
+	return core.ComputeNewFreq(prof, c.cf, abs*(1+c.cfg.CapacityMargin))
+}
+
+// coordinate runs one cluster-level PAS iteration.
+func (c *Cluster) coordinate() {
+	switch c.cfg.Domain {
+	case PerCore:
+		for _, cs := range c.cores {
+			if c.step < cs.settleUntil {
+				continue
+			}
+			c.apply(cs, c.desiredFreq(cs))
+		}
+	case PerSocket:
+		// The socket serves its hungriest core. Settling is per-socket:
+		// if any core recently transitioned, hold.
+		for _, cs := range c.cores {
+			if c.step < cs.settleUntil {
+				return
+			}
+		}
+		want := c.cores[0].cpu.Profile().Min()
+		for _, cs := range c.cores {
+			if f := c.desiredFreq(cs); f > want {
+				want = f
+			}
+		}
+		for _, cs := range c.cores {
+			c.apply(cs, want)
+		}
+	}
+}
+
+// apply sets one core's frequency and compensates its VMs' credits
+// (equation 4), exactly as the single-core PAS does.
+func (c *Cluster) apply(cs *coreState, f cpufreq.Freq) {
+	prof := cs.cpu.Profile()
+	idx, err := prof.Index(f)
+	if err != nil {
+		return
+	}
+	ratio := prof.Ratio(f)
+	cf := c.cf[idx]
+	for id, init := range cs.initCredit {
+		if init <= 0 {
+			continue
+		}
+		newCredit, err := core.CompensatedCredit(init, ratio, cf)
+		if err != nil {
+			continue
+		}
+		_ = cs.credit.SetCap(id, newCredit) // ids registered via AddVM
+	}
+	if f != cs.cpu.Freq() {
+		_ = cs.cpu.SetFreq(f, c.now) // ladder-validated above
+		cs.settleUntil = c.step + c.cfg.SettleSteps
+	}
+}

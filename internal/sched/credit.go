@@ -1,0 +1,228 @@
+package sched
+
+import (
+	"fmt"
+
+	"pasched/internal/sim"
+	"pasched/internal/vm"
+)
+
+// DefaultCreditPeriod is the credit accounting period, matching Xen's 30 ms
+// accounting interval.
+const DefaultCreditPeriod = 30 * sim.Millisecond
+
+// CreditConfig configures the Credit scheduler.
+type CreditConfig struct {
+	// Period is the accounting period at which credits are refilled.
+	// Zero selects DefaultCreditPeriod.
+	Period sim.Time
+	// WorkConserving, when true, lets capped VMs that exhausted their
+	// budget consume otherwise-idle time. Xen's Credit scheduler does NOT
+	// do this (a cap is a hard limit); the option exists for experiments
+	// that need a work-conserving credit baseline.
+	WorkConserving bool
+}
+
+// Credit is the Xen Credit scheduler model: proportional share with hard
+// caps. With a cap equal to its credit, a VM behaves exactly as the paper's
+// "fix credit scheduler": its credit is always guaranteed but never
+// exceeded. A VM created with zero credit has no cap and consumes only
+// slices no budgeted VM wants (the paper's "null credit" special case).
+type Credit struct {
+	cfg    CreditConfig
+	vms    []*vm.VM
+	known  map[vm.ID]bool
+	caps   map[vm.ID]float64 // current cap percentage; 0 = uncapped
+	budget map[vm.ID]float64 // microseconds left in the current period
+	used   map[vm.ID]float64 // microseconds consumed in the current period
+
+	rrBudget   rrQueue
+	rrUncapped rrQueue
+	rrOverflow rrQueue
+	nextRefill sim.Time
+}
+
+var (
+	_ Scheduler = (*Credit)(nil)
+	_ CapSetter = (*Credit)(nil)
+)
+
+// NewCredit returns a Credit scheduler with the given configuration.
+func NewCredit(cfg CreditConfig) *Credit {
+	if cfg.Period <= 0 {
+		cfg.Period = DefaultCreditPeriod
+	}
+	return &Credit{
+		cfg:        cfg,
+		known:      make(map[vm.ID]bool),
+		caps:       make(map[vm.ID]float64),
+		budget:     make(map[vm.ID]float64),
+		used:       make(map[vm.ID]float64),
+		nextRefill: cfg.Period,
+	}
+}
+
+// Name implements Scheduler.
+func (c *Credit) Name() string { return "credit" }
+
+// Add implements Scheduler. The VM's cap is initialized to its configured
+// credit.
+func (c *Credit) Add(v *vm.VM) error {
+	if err := validateAdd(c.known, v); err != nil {
+		return err
+	}
+	c.known[v.ID()] = true
+	c.vms = append(c.vms, v)
+	c.caps[v.ID()] = v.Credit()
+	c.budget[v.ID()] = c.refillFor(v.ID())
+	return nil
+}
+
+// Remove implements Scheduler.
+func (c *Credit) Remove(id vm.ID) error {
+	if !c.known[id] {
+		return fmt.Errorf("%w: id %d", ErrUnknownVM, id)
+	}
+	delete(c.known, id)
+	delete(c.caps, id)
+	delete(c.budget, id)
+	delete(c.used, id)
+	c.vms = removeVM(c.vms, id)
+	return nil
+}
+
+// VMs implements Scheduler.
+func (c *Credit) VMs() []*vm.VM {
+	out := make([]*vm.VM, len(c.vms))
+	copy(out, c.vms)
+	return out
+}
+
+// refillFor returns one period's budget for the VM in microseconds.
+func (c *Credit) refillFor(id vm.ID) float64 {
+	return c.caps[id] / 100 * float64(c.cfg.Period)
+}
+
+// Pick implements Scheduler. Selection order:
+//
+//  1. Strict priority tiers, highest first: runnable capped VMs holding
+//     budget, round-robin within the tier (Dom0 is served here).
+//  2. Uncapped ("null credit") VMs, which absorb idle slack.
+//  3. Only in work-conserving mode: capped VMs whose budget is exhausted.
+func (c *Credit) Pick(now sim.Time) *vm.VM {
+	// Pass 1: budgeted VMs by strict priority.
+	best := -1
+	bestPrio := 0
+	// Find the highest priority tier that has an eligible VM, then
+	// round-robin inside that tier.
+	for i, v := range c.vms {
+		if !v.Runnable() {
+			continue
+		}
+		if c.caps[v.ID()] <= 0 || c.budget[v.ID()] <= 0 {
+			continue
+		}
+		if best == -1 || v.Priority() > bestPrio {
+			best = i
+			bestPrio = v.Priority()
+		}
+	}
+	if best >= 0 {
+		i := c.rrBudget.next(len(c.vms), func(i int) bool {
+			v := c.vms[i]
+			return v.Runnable() && v.Priority() == bestPrio &&
+				c.caps[v.ID()] > 0 && c.budget[v.ID()] > 0
+		})
+		if i >= 0 {
+			return c.vms[i]
+		}
+	}
+	// Pass 2: uncapped VMs.
+	if i := c.rrUncapped.next(len(c.vms), func(i int) bool {
+		v := c.vms[i]
+		return v.Runnable() && c.caps[v.ID()] <= 0
+	}); i >= 0 {
+		return c.vms[i]
+	}
+	// Pass 3: work-conserving overflow.
+	if c.cfg.WorkConserving {
+		if i := c.rrOverflow.next(len(c.vms), func(i int) bool {
+			return c.vms[i].Runnable()
+		}); i >= 0 {
+			return c.vms[i]
+		}
+	}
+	return nil
+}
+
+// Charge implements Scheduler.
+func (c *Credit) Charge(v *vm.VM, busy sim.Time, _ sim.Time) {
+	if v == nil || busy <= 0 || !c.known[v.ID()] {
+		return
+	}
+	c.budget[v.ID()] -= float64(busy)
+	c.used[v.ID()] += float64(busy)
+}
+
+// Tick implements Scheduler: it refills budgets at period boundaries.
+// Unused budget does not carry over (a cap is an upper bound per period,
+// not a savings account), but an overdraft does — a VM that ran slightly
+// past its budget (scheduling is quantized) starts the next period owing
+// the difference, exactly like a Xen vCPU going into the OVER state with
+// negative credits. The carried debt is bounded to one period's refill so
+// a work-conserving overflow cannot starve a VM indefinitely.
+func (c *Credit) Tick(now sim.Time) {
+	for c.nextRefill <= now {
+		for id := range c.caps {
+			refill := c.refillFor(id)
+			b := c.budget[id] + refill
+			if b > refill {
+				b = refill
+			}
+			if b < -refill {
+				b = -refill
+			}
+			c.budget[id] = b
+			c.used[id] = 0
+		}
+		c.nextRefill += c.cfg.Period
+	}
+}
+
+// SetCap implements CapSetter. Raising or lowering a cap mid-period adjusts
+// the remaining budget by the pro-rated difference so that the new
+// allocation takes effect immediately (the in-scheduler PAS variant relies
+// on this reactivity).
+func (c *Credit) SetCap(id vm.ID, pct float64) error {
+	if !c.known[id] {
+		return fmt.Errorf("%w: id %d", ErrUnknownVM, id)
+	}
+	if pct < 0 {
+		return fmt.Errorf("sched: negative cap %v for VM %d", pct, id)
+	}
+	old := c.caps[id]
+	c.caps[id] = pct
+	delta := (pct - old) / 100 * float64(c.cfg.Period)
+	c.budget[id] += delta
+	return nil
+}
+
+// Cap implements CapSetter.
+func (c *Credit) Cap(id vm.ID) (float64, error) {
+	if !c.known[id] {
+		return 0, fmt.Errorf("%w: id %d", ErrUnknownVM, id)
+	}
+	return c.caps[id], nil
+}
+
+// Budget returns the VM's remaining budget in this accounting period, in
+// microseconds of CPU time. It is exposed for tests and introspection.
+func (c *Credit) Budget(id vm.ID) (float64, error) {
+	if !c.known[id] {
+		return 0, fmt.Errorf("%w: id %d", ErrUnknownVM, id)
+	}
+	return c.budget[id], nil
+}
+
+// Period returns the accounting period.
+func (c *Credit) Period() sim.Time { return c.cfg.Period }

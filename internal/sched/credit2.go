@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"fmt"
+
+	"pasched/internal/sim"
+	"pasched/internal/vm"
+)
+
+// Credit2 is a weight-proportional, work-conserving scheduler in the spirit
+// of the Xen Credit2 scheduler the paper mentions as a beta (Section 3.1).
+// It has no caps: a runnable VM can always consume idle capacity, which
+// makes it a variable-credit scheduler in the paper's taxonomy.
+//
+// The implementation is a virtual-runtime scheduler: each VM accumulates
+// runtime scaled by the inverse of its weight and the VM with the smallest
+// scaled runtime runs next, which converges to weight-proportional sharing
+// under contention.
+type Credit2 struct {
+	vms      []*vm.VM
+	known    map[vm.ID]bool
+	vruntime map[vm.ID]float64 // microseconds scaled by 1/weight
+	weights  map[vm.ID]float64
+	maxLag   float64 // wake-up clamp, in scaled microseconds
+	vclock   float64 // vruntime of the most recently picked VM
+}
+
+var _ Scheduler = (*Credit2)(nil)
+
+// NewCredit2 returns a Credit2 scheduler.
+func NewCredit2() *Credit2 {
+	return &Credit2{
+		known:    make(map[vm.ID]bool),
+		vruntime: make(map[vm.ID]float64),
+		weights:  make(map[vm.ID]float64),
+		maxLag:   float64(DefaultCreditPeriod),
+	}
+}
+
+// Name implements Scheduler.
+func (c *Credit2) Name() string { return "credit2" }
+
+// Add implements Scheduler. The VM's weight derives from its configuration
+// (its credit when no explicit weight is set).
+func (c *Credit2) Add(v *vm.VM) error {
+	if err := validateAdd(c.known, v); err != nil {
+		return err
+	}
+	c.known[v.ID()] = true
+	c.vms = append(c.vms, v)
+	c.weights[v.ID()] = float64(v.Config().EffectiveWeight())
+	c.vruntime[v.ID()] = c.vclock
+	return nil
+}
+
+// Remove implements Scheduler.
+func (c *Credit2) Remove(id vm.ID) error {
+	if !c.known[id] {
+		return fmt.Errorf("%w: id %d", ErrUnknownVM, id)
+	}
+	delete(c.known, id)
+	delete(c.vruntime, id)
+	delete(c.weights, id)
+	c.vms = removeVM(c.vms, id)
+	return nil
+}
+
+// VMs implements Scheduler.
+func (c *Credit2) VMs() []*vm.VM {
+	out := make([]*vm.VM, len(c.vms))
+	copy(out, c.vms)
+	return out
+}
+
+// Pick implements Scheduler: the runnable VM with the smallest scaled
+// runtime runs, with a wake-up clamp so a long-idle VM cannot monopolize
+// the processor while it catches up.
+func (c *Credit2) Pick(_ sim.Time) *vm.VM {
+	var best *vm.VM
+	bestVR := 0.0
+	for _, v := range c.vms {
+		if !v.Runnable() {
+			continue
+		}
+		vr := c.vruntime[v.ID()]
+		if vr < c.vclock-c.maxLag {
+			vr = c.vclock - c.maxLag
+			c.vruntime[v.ID()] = vr
+		}
+		if best == nil || vr < bestVR {
+			best = v
+			bestVR = vr
+		}
+	}
+	if best != nil {
+		c.vclock = bestVR
+	}
+	return best
+}
+
+// Charge implements Scheduler.
+func (c *Credit2) Charge(v *vm.VM, busy sim.Time, _ sim.Time) {
+	if v == nil || busy <= 0 || !c.known[v.ID()] {
+		return
+	}
+	w := c.weights[v.ID()]
+	if w <= 0 {
+		w = 1
+	}
+	c.vruntime[v.ID()] += float64(busy) / w
+}
+
+// Tick implements Scheduler. Credit2 needs no periodic accounting.
+func (c *Credit2) Tick(sim.Time) {}
+
+// Weight returns the VM's proportional-share weight.
+func (c *Credit2) Weight(id vm.ID) (float64, error) {
+	if !c.known[id] {
+		return 0, fmt.Errorf("%w: id %d", ErrUnknownVM, id)
+	}
+	return c.weights[id], nil
+}

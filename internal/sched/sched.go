@@ -1,0 +1,131 @@
+// Package sched implements the hypervisor VM schedulers analysed by the
+// paper (Section 3.1):
+//
+//   - Credit: the default Xen scheduler, used as the paper's fix-credit
+//     scheduler. Each VM has a weight and a cap; a capped VM never receives
+//     more than its cap, even when the processor would otherwise idle
+//     (non-work-conserving with respect to the cap).
+//   - SEDF: Xen's Simple Earliest Deadline First scheduler, used as the
+//     paper's variable-credit scheduler. Each VM has a (slice, period,
+//     extratime) triplet; VMs with the extratime flag share slices that
+//     other VMs leave unused (work-conserving).
+//   - Credit2: a weight-proportional work-conserving scheduler in the
+//     spirit of the Xen Credit2 beta mentioned by the paper.
+//
+// The PAS scheduler of the paper (the contribution) lives in
+// internal/core and is built on Credit via the CapSetter interface.
+package sched
+
+import (
+	"errors"
+	"fmt"
+
+	"pasched/internal/sim"
+	"pasched/internal/vm"
+)
+
+// ErrUnknownVM is returned when an operation references a VM that was never
+// added to the scheduler.
+var ErrUnknownVM = errors.New("sched: unknown VM")
+
+// ErrDuplicateVM is returned when a VM with the same ID is added twice.
+var ErrDuplicateVM = errors.New("sched: duplicate VM")
+
+// Scheduler decides which VM occupies the processor each scheduling
+// quantum. The host drives it with a Pick/Charge/Tick cycle:
+//
+//	v := s.Pick(now)        // who runs this quantum?
+//	... execute v ...
+//	s.Charge(v, busy, now)  // how long it actually ran
+//	s.Tick(now)             // end-of-quantum accounting
+//
+// Implementations are not safe for concurrent use.
+type Scheduler interface {
+	// Name identifies the scheduling policy, e.g. "credit".
+	Name() string
+	// Add registers a VM with the scheduler.
+	Add(v *vm.VM) error
+	// Remove unregisters a VM (shutdown or migration away). Removing an
+	// unknown VM is an error.
+	Remove(id vm.ID) error
+	// VMs returns the registered VMs in registration order.
+	VMs() []*vm.VM
+	// Pick returns the VM to run for the quantum starting at now, or nil
+	// if no runnable VM may run (the processor idles).
+	Pick(now sim.Time) *vm.VM
+	// Charge informs the scheduler that v ran busy CPU time ending at now.
+	Charge(v *vm.VM, busy sim.Time, now sim.Time)
+	// Tick performs end-of-quantum accounting (credit refills, deadline
+	// rollovers).
+	Tick(now sim.Time)
+}
+
+// CapSetter is implemented by schedulers whose per-VM CPU allocation can be
+// adjusted at run time. The PAS scheduler uses it to enforce the
+// recomputed, frequency-compensated credits (Listing 1.2 of the paper).
+type CapSetter interface {
+	// SetCap sets the VM's allocation to pct percent of the processor
+	// time. Values above 100 are meaningful at low frequencies: the paper
+	// notes "the sum of the VM credits may be more than 100%".
+	SetCap(id vm.ID, pct float64) error
+	// Cap returns the VM's current allocation percentage.
+	Cap(id vm.ID) (float64, error)
+}
+
+// EffectiveCapper is an optional extension of CapSetter for schedulers
+// whose enforced cap differs from the contracted credit (the PAS scheduler
+// enforces a frequency-compensated cap). Metric recorders prefer it over
+// Cap when present, so traces show the enforcement actually in effect.
+type EffectiveCapper interface {
+	// EffectiveCap returns the momentary enforced cap percentage.
+	EffectiveCap(id vm.ID) (float64, error)
+}
+
+// rrQueue is a tiny round-robin helper: it remembers the last VM served and
+// starts the next scan after it, giving equal service to equal claimants.
+type rrQueue struct {
+	last int
+}
+
+// next scans candidates round-robin starting after the previously served
+// index and returns the index of the first candidate accepted by ok, or -1.
+func (q *rrQueue) next(n int, ok func(i int) bool) int {
+	if n == 0 {
+		return -1
+	}
+	start := q.last + 1
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		if ok(i) {
+			q.last = i
+			return i
+		}
+	}
+	return -1
+}
+
+// validateAdd performs the common Add checks and returns the VM's index key.
+func validateAdd(existing map[vm.ID]bool, v *vm.VM) error {
+	if v == nil {
+		return fmt.Errorf("sched: add nil VM")
+	}
+	if existing[v.ID()] {
+		return fmt.Errorf("%w: id %d", ErrDuplicateVM, v.ID())
+	}
+	return nil
+}
+
+// removeVM returns vms without the VM carrying id, preserving order.
+func removeVM(vms []*vm.VM, id vm.ID) []*vm.VM {
+	out := vms[:0]
+	for _, v := range vms {
+		if v.ID() != id {
+			out = append(out, v)
+		}
+	}
+	// Drop the trailing duplicate pointer so it can be collected.
+	if len(out) < len(vms) {
+		vms[len(vms)-1] = nil
+	}
+	return out
+}

@@ -1,0 +1,240 @@
+package sched
+
+import (
+	"fmt"
+
+	"pasched/internal/sim"
+	"pasched/internal/vm"
+)
+
+// DefaultSEDFPeriod is the default reservation period for VMs whose SEDF
+// parameters are derived from their credit.
+const DefaultSEDFPeriod = 100 * sim.Millisecond
+
+// SEDFParams is the per-VM (s, p, b) triplet of the Xen SEDF scheduler
+// (Section 3.1): the VM is guaranteed Slice of CPU time in every Period,
+// and Extratime marks it eligible for slices other VMs leave unused.
+type SEDFParams struct {
+	Slice     sim.Time
+	Period    sim.Time
+	Extratime bool
+}
+
+// Validate checks the parameter invariants.
+func (p SEDFParams) Validate() error {
+	if p.Period <= 0 {
+		return fmt.Errorf("sched: sedf period must be positive, got %v", p.Period)
+	}
+	if p.Slice < 0 || p.Slice > p.Period {
+		return fmt.Errorf("sched: sedf slice %v outside [0, period %v]", p.Slice, p.Period)
+	}
+	return nil
+}
+
+// SEDFConfig configures the SEDF scheduler.
+type SEDFConfig struct {
+	// DefaultPeriod is the period used when deriving parameters from a
+	// VM's credit. Zero selects DefaultSEDFPeriod.
+	DefaultPeriod sim.Time
+	// DefaultExtratime is the extratime flag for derived parameters. The
+	// paper uses SEDF as its variable-credit scheduler, i.e. with
+	// extratime enabled.
+	DefaultExtratime bool
+}
+
+// sedfState is the per-VM runtime state: the current deadline and the CPU
+// time still owed within the current period.
+type sedfState struct {
+	params    SEDFParams
+	deadline  sim.Time
+	remaining float64 // microseconds
+	extraUsed float64 // microseconds consumed as extratime, cumulative
+}
+
+// SEDF is the Xen Simple Earliest Deadline First scheduler model. With the
+// extratime flag it is the paper's variable-credit scheduler: each VM's
+// credit is guaranteed when it has load, and unused slices are shared among
+// extratime-eligible VMs.
+type SEDF struct {
+	cfg     SEDFConfig
+	vms     []*vm.VM
+	known   map[vm.ID]bool
+	state   map[vm.ID]*sedfState
+	rrExtra rrQueue
+}
+
+var (
+	_ Scheduler = (*SEDF)(nil)
+	_ CapSetter = (*SEDF)(nil)
+)
+
+// NewSEDF returns an SEDF scheduler with the given configuration.
+func NewSEDF(cfg SEDFConfig) *SEDF {
+	if cfg.DefaultPeriod <= 0 {
+		cfg.DefaultPeriod = DefaultSEDFPeriod
+	}
+	return &SEDF{
+		cfg:   cfg,
+		known: make(map[vm.ID]bool),
+		state: make(map[vm.ID]*sedfState),
+	}
+}
+
+// Name implements Scheduler.
+func (s *SEDF) Name() string { return "sedf" }
+
+// Add implements Scheduler, deriving (s, p, b) from the VM's credit: a VM
+// with credit k% receives a slice of k% of the default period.
+func (s *SEDF) Add(v *vm.VM) error {
+	if v == nil {
+		return fmt.Errorf("sched: add nil VM")
+	}
+	p := SEDFParams{
+		Slice:     sim.Time(v.Credit() / 100 * float64(s.cfg.DefaultPeriod)),
+		Period:    s.cfg.DefaultPeriod,
+		Extratime: s.cfg.DefaultExtratime,
+	}
+	return s.AddWithParams(v, p)
+}
+
+// AddWithParams registers a VM with an explicit (s, p, b) triplet.
+func (s *SEDF) AddWithParams(v *vm.VM, p SEDFParams) error {
+	if err := validateAdd(s.known, v); err != nil {
+		return err
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	s.known[v.ID()] = true
+	s.vms = append(s.vms, v)
+	s.state[v.ID()] = &sedfState{
+		params:    p,
+		deadline:  p.Period,
+		remaining: float64(p.Slice),
+	}
+	return nil
+}
+
+// Params returns the VM's current SEDF parameters.
+func (s *SEDF) Params(id vm.ID) (SEDFParams, error) {
+	st, ok := s.state[id]
+	if !ok {
+		return SEDFParams{}, fmt.Errorf("%w: id %d", ErrUnknownVM, id)
+	}
+	return st.params, nil
+}
+
+// Remove implements Scheduler.
+func (s *SEDF) Remove(id vm.ID) error {
+	if !s.known[id] {
+		return fmt.Errorf("%w: id %d", ErrUnknownVM, id)
+	}
+	delete(s.known, id)
+	delete(s.state, id)
+	s.vms = removeVM(s.vms, id)
+	return nil
+}
+
+// VMs implements Scheduler.
+func (s *SEDF) VMs() []*vm.VM {
+	out := make([]*vm.VM, len(s.vms))
+	copy(out, s.vms)
+	return out
+}
+
+// Pick implements Scheduler: earliest-deadline-first among runnable VMs
+// that still hold slice time; otherwise round-robin among runnable
+// extratime-eligible VMs.
+func (s *SEDF) Pick(_ sim.Time) *vm.VM {
+	var best *vm.VM
+	var bestDeadline sim.Time
+	for _, v := range s.vms {
+		if !v.Runnable() {
+			continue
+		}
+		st := s.state[v.ID()]
+		if st.remaining <= 0 {
+			continue
+		}
+		if best == nil || st.deadline < bestDeadline {
+			best = v
+			bestDeadline = st.deadline
+		}
+	}
+	if best != nil {
+		return best
+	}
+	// Extratime distribution: the variable-credit behaviour.
+	if i := s.rrExtra.next(len(s.vms), func(i int) bool {
+		v := s.vms[i]
+		return v.Runnable() && s.state[v.ID()].params.Extratime
+	}); i >= 0 {
+		return s.vms[i]
+	}
+	return nil
+}
+
+// Charge implements Scheduler.
+func (s *SEDF) Charge(v *vm.VM, busy sim.Time, _ sim.Time) {
+	if v == nil || busy <= 0 {
+		return
+	}
+	st, ok := s.state[v.ID()]
+	if !ok {
+		return
+	}
+	if st.remaining > 0 {
+		st.remaining -= float64(busy)
+		return
+	}
+	st.extraUsed += float64(busy)
+}
+
+// Tick implements Scheduler: it rolls deadlines forward and replenishes
+// slices at each VM's period boundary.
+func (s *SEDF) Tick(now sim.Time) {
+	for _, st := range s.state {
+		for st.deadline <= now {
+			st.deadline += st.params.Period
+			st.remaining = float64(st.params.Slice)
+		}
+	}
+}
+
+// SetCap implements CapSetter by resizing the VM's slice to pct percent of
+// its period, which lets PAS-style credit compensation drive SEDF too.
+func (s *SEDF) SetCap(id vm.ID, pct float64) error {
+	st, ok := s.state[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrUnknownVM, id)
+	}
+	if pct < 0 {
+		return fmt.Errorf("sched: negative cap %v for VM %d", pct, id)
+	}
+	if pct > 100 {
+		pct = 100 // a slice cannot exceed its period
+	}
+	old := st.params.Slice
+	st.params.Slice = sim.Time(pct / 100 * float64(st.params.Period))
+	st.remaining += float64(st.params.Slice - old)
+	return nil
+}
+
+// Cap implements CapSetter.
+func (s *SEDF) Cap(id vm.ID) (float64, error) {
+	st, ok := s.state[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: id %d", ErrUnknownVM, id)
+	}
+	return float64(st.params.Slice) / float64(st.params.Period) * 100, nil
+}
+
+// ExtratimeUsed returns the cumulative CPU time the VM received beyond its
+// guaranteed slices.
+func (s *SEDF) ExtratimeUsed(id vm.ID) (sim.Time, error) {
+	st, ok := s.state[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: id %d", ErrUnknownVM, id)
+	}
+	return sim.Time(st.extraUsed), nil
+}

@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pasched/internal/sim"
+)
+
+// TracePoint is one segment of a replayed load trace: from Start onwards
+// (until the next point) the workload demands Rate work units per second.
+type TracePoint struct {
+	Start sim.Time
+	Rate  float64
+}
+
+// TraceWorkload replays a piecewise-constant demand trace, accumulating
+// work continuously at the rate in force. It models production load
+// recordings (the consolidation literature's input) without per-request
+// granularity.
+type TraceWorkload struct {
+	points   []TracePoint
+	lastTick sim.Time
+	queue    float64
+	maxQueue float64
+	served   float64
+}
+
+// NewTraceWorkload builds a replayed workload from points sorted by start
+// time. maxBacklog bounds the queue in work units (<= 0 means unbounded).
+func NewTraceWorkload(points []TracePoint, maxBacklog float64) (*TraceWorkload, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	if !sort.SliceIsSorted(points, func(i, j int) bool { return points[i].Start < points[j].Start }) {
+		return nil, fmt.Errorf("workload: trace points not sorted by start time")
+	}
+	for i, p := range points {
+		if p.Rate < 0 {
+			return nil, fmt.Errorf("workload: trace point %d has negative rate", i)
+		}
+		if i > 0 && p.Start == points[i-1].Start {
+			return nil, fmt.Errorf("workload: duplicate trace start %v", p.Start)
+		}
+	}
+	cp := make([]TracePoint, len(points))
+	copy(cp, points)
+	return &TraceWorkload{points: cp, maxQueue: maxBacklog}, nil
+}
+
+// ParseTrace reads a trace from r in "seconds,rate" CSV lines (comments
+// with '#', blank lines ignored). Rates are in work units per second.
+func ParseTrace(r io.Reader, maxBacklog float64) (*TraceWorkload, error) {
+	var points []TracePoint
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("workload: trace line %d: want 'seconds,rate', got %q", line, text)
+		}
+		secs, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		rate, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		points = append(points, TracePoint{Start: sim.FromSeconds(secs), Rate: rate})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: read trace: %w", err)
+	}
+	return NewTraceWorkload(points, maxBacklog)
+}
+
+// rateAt returns the demand rate in force at time t.
+func (w *TraceWorkload) rateAt(t sim.Time) float64 {
+	// Find the last point with Start <= t.
+	i := sort.Search(len(w.points), func(i int) bool { return w.points[i].Start > t })
+	if i == 0 {
+		return 0
+	}
+	return w.points[i-1].Rate
+}
+
+// Tick implements Workload: accumulate demand over (lastTick, now].
+func (w *TraceWorkload) Tick(now sim.Time) {
+	if now <= w.lastTick {
+		return
+	}
+	t := w.lastTick
+	for t < now {
+		// Advance segment by segment so rate changes mid-interval are
+		// integrated exactly.
+		end := now
+		i := sort.Search(len(w.points), func(i int) bool { return w.points[i].Start > t })
+		if i < len(w.points) && w.points[i].Start < end {
+			end = w.points[i].Start
+		}
+		w.queue += w.rateAt(t) * (end - t).Seconds()
+		t = end
+	}
+	if w.maxQueue > 0 && w.queue > w.maxQueue {
+		w.queue = w.maxQueue
+	}
+	w.lastTick = now
+}
+
+// Pending implements Workload.
+func (w *TraceWorkload) Pending() float64 { return w.queue }
+
+// Consume implements Workload.
+func (w *TraceWorkload) Consume(max float64, _ sim.Time) float64 {
+	if max <= 0 || w.queue <= 0 {
+		return 0
+	}
+	used := max
+	if used > w.queue {
+		used = w.queue
+	}
+	w.queue -= used
+	w.served += used
+	return used
+}
+
+// Served returns the total work executed.
+func (w *TraceWorkload) Served() float64 { return w.served }
+
+// Burst wraps a workload and multiplies its consumption opportunities with
+// on/off bursts: during a burst the inner workload is exposed as-is;
+// outside bursts the workload appears idle (arrivals still accumulate in
+// the inner workload). It injects the kind of on/off load flapping that
+// stresses governors.
+type Burst struct {
+	Inner  Workload
+	Period sim.Time
+	On     sim.Time
+	now    sim.Time
+}
+
+// NewBurst wraps inner with an on/off gate: on for `on` out of every
+// `period`.
+func NewBurst(inner Workload, period, on sim.Time) (*Burst, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("workload: burst around nil workload")
+	}
+	if period <= 0 || on <= 0 || on > period {
+		return nil, fmt.Errorf("workload: burst needs 0 < on <= period, got on=%v period=%v", on, period)
+	}
+	return &Burst{Inner: inner, Period: period, On: on}, nil
+}
+
+// active reports whether the gate is open at the workload's current time.
+func (b *Burst) active() bool {
+	return b.now%b.Period < b.On
+}
+
+// Tick implements Workload.
+func (b *Burst) Tick(now sim.Time) {
+	b.now = now
+	b.Inner.Tick(now)
+}
+
+// Pending implements Workload.
+func (b *Burst) Pending() float64 {
+	if !b.active() {
+		return 0
+	}
+	return b.Inner.Pending()
+}
+
+// Consume implements Workload.
+func (b *Burst) Consume(max float64, now sim.Time) float64 {
+	if !b.active() {
+		return 0
+	}
+	return b.Inner.Consume(max, now)
+}

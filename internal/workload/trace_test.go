@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pasched/internal/sim"
+)
+
+func TestNewTraceWorkloadValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		points []TracePoint
+	}{
+		{"empty", nil},
+		{"unsorted", []TracePoint{{Start: sim.Second, Rate: 1}, {Start: 0, Rate: 1}}},
+		{"negative rate", []TracePoint{{Start: 0, Rate: -1}}},
+		{"duplicate start", []TracePoint{{Start: 0, Rate: 1}, {Start: 0, Rate: 2}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewTraceWorkload(tt.points, 0); err == nil {
+				t.Error("invalid trace accepted")
+			}
+		})
+	}
+}
+
+func TestTraceWorkloadIntegratesExactly(t *testing.T) {
+	// 100 units/s for 2 s, then 50 units/s for 2 s: 300 units total.
+	w, err := NewTraceWorkload([]TracePoint{
+		{Start: 0, Rate: 100},
+		{Start: 2 * sim.Second, Rate: 50},
+		{Start: 4 * sim.Second, Rate: 0},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tick across a rate boundary: integration must split the segments.
+	w.Tick(3 * sim.Second)
+	if got := w.Pending(); math.Abs(got-250) > 1e-9 {
+		t.Errorf("Pending after 3s = %v, want 250", got)
+	}
+	w.Tick(10 * sim.Second)
+	if got := w.Pending(); math.Abs(got-300) > 1e-9 {
+		t.Errorf("Pending after 10s = %v, want 300", got)
+	}
+	if got := w.Consume(1000, 10*sim.Second); math.Abs(got-300) > 1e-9 {
+		t.Errorf("Consume = %v, want 300", got)
+	}
+	if w.Served() != 300 {
+		t.Errorf("Served = %v, want 300", w.Served())
+	}
+}
+
+func TestTraceWorkloadBacklogBound(t *testing.T) {
+	w, err := NewTraceWorkload([]TracePoint{{Start: 0, Rate: 1000}}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Tick(10 * sim.Second)
+	if w.Pending() != 500 {
+		t.Errorf("Pending = %v, want 500 (bounded)", w.Pending())
+	}
+}
+
+func TestTraceWorkloadBeforeFirstPoint(t *testing.T) {
+	w, err := NewTraceWorkload([]TracePoint{{Start: 5 * sim.Second, Rate: 100}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Tick(5 * sim.Second)
+	if w.Pending() != 0 {
+		t.Errorf("Pending before trace start = %v, want 0", w.Pending())
+	}
+}
+
+func TestParseTrace(t *testing.T) {
+	in := `# time_s, rate
+0, 100
+2.5, 50
+
+5, 0
+`
+	w, err := ParseTrace(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Tick(10 * sim.Second)
+	want := 100*2.5 + 50*2.5
+	if got := w.Pending(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("Pending = %v, want %v", got, want)
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	for _, in := range []string{
+		"nonsense",
+		"1",
+		"x, 5",
+		"1, y",
+	} {
+		if _, err := ParseTrace(strings.NewReader(in), 0); err == nil {
+			t.Errorf("ParseTrace(%q) succeeded", in)
+		}
+	}
+}
+
+func TestBurstGate(t *testing.T) {
+	if _, err := NewBurst(nil, sim.Second, sim.Second); err == nil {
+		t.Error("nil inner accepted")
+	}
+	if _, err := NewBurst(&Hog{}, sim.Second, 2*sim.Second); err == nil {
+		t.Error("on > period accepted")
+	}
+	if _, err := NewBurst(&Hog{}, 0, 0); err == nil {
+		t.Error("zero period accepted")
+	}
+
+	b, err := NewBurst(&Hog{}, 10*sim.Second, 4*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Tick(1 * sim.Second) // within the on-window
+	if b.Pending() == 0 {
+		t.Error("burst closed during on-window")
+	}
+	if b.Consume(10, 1*sim.Second) != 10 {
+		t.Error("burst refused work during on-window")
+	}
+	b.Tick(5 * sim.Second) // off-window
+	if b.Pending() != 0 {
+		t.Error("burst open during off-window")
+	}
+	if b.Consume(10, 5*sim.Second) != 0 {
+		t.Error("burst consumed during off-window")
+	}
+	b.Tick(11 * sim.Second) // next period's on-window
+	if b.Pending() == 0 {
+		t.Error("burst closed at next period start")
+	}
+}
+
+func TestBurstDrivesDutyCycle(t *testing.T) {
+	// A bursted hog run against a simple consume loop yields the duty
+	// cycle of the gate.
+	b, err := NewBurst(&Hog{}, 10*sim.Millisecond, 3*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := 0
+	for i := 0; i < 10000; i++ {
+		now := sim.Time(i) * sim.Millisecond
+		b.Tick(now)
+		if b.Pending() > 0 {
+			b.Consume(1, now)
+			busy++
+		}
+	}
+	duty := float64(busy) / 10000
+	if math.Abs(duty-0.3) > 0.01 {
+		t.Errorf("duty cycle = %v, want 0.3", duty)
+	}
+}

@@ -1,0 +1,242 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"pasched/internal/sim"
+)
+
+// Phase is one segment of a load profile: between Start and End the
+// generator produces requests at Rate requests per second. Outside all
+// phases the generator is inactive.
+type Phase struct {
+	Start sim.Time
+	End   sim.Time
+	Rate  float64 // requests per simulated second
+}
+
+// WebAppConfig configures an open-loop web-load generator.
+type WebAppConfig struct {
+	// RequestCost is the CPU cost of one request in work units. The
+	// default models a dynamic-page request costing 20 ms of CPU at the
+	// Optiplex's maximum frequency.
+	RequestCost float64
+	// Phases is the activity profile. Phases must be non-overlapping and
+	// sorted by start time.
+	Phases []Phase
+	// Deterministic selects fixed inter-arrival times instead of a
+	// Poisson process. The paper's stock-ondemand oscillation (Fig. 3)
+	// needs the bursty (Poisson) arrivals; the smoothed comparisons work
+	// with either.
+	Deterministic bool
+	// MaxBacklog bounds the pending-work queue, in work units. Arrivals
+	// beyond the bound are dropped, modelling connection-queue overflow
+	// in the real web stack (httperf keeps offering load regardless).
+	// Zero selects the default of 5 seconds of work at rated cost;
+	// negative means unbounded.
+	MaxBacklog float64
+	// Seed seeds the arrival process.
+	Seed uint64
+}
+
+// DefaultRequestCost is the default per-request CPU cost in work units:
+// 20 ms of CPU time on a 2667 MHz processor at full efficiency.
+const DefaultRequestCost = 0.020 * 2667e6
+
+// WebApp is an open-loop queued request generator (the httperf + Joomla
+// substitute). Arrivals enqueue work; the VM drains the queue when
+// scheduled. The offered rate follows the configured phases.
+type WebApp struct {
+	cfg        WebAppConfig
+	rng        *sim.RNG
+	nextArr    sim.Time
+	haveNext   bool
+	lastTick   sim.Time
+	queue      float64
+	offered    int64   // requests offered
+	dropped    int64   // requests dropped due to backlog bound
+	completed  float64 // work units served
+	maxBacklog float64
+}
+
+var _ Workload = (*WebApp)(nil)
+
+// NewWebApp builds a web-load generator. It validates the phase list and
+// request cost.
+func NewWebApp(cfg WebAppConfig) (*WebApp, error) {
+	if cfg.RequestCost == 0 {
+		cfg.RequestCost = DefaultRequestCost
+	}
+	if cfg.RequestCost < 0 {
+		return nil, fmt.Errorf("workload: negative request cost %v", cfg.RequestCost)
+	}
+	if !sort.SliceIsSorted(cfg.Phases, func(i, j int) bool {
+		return cfg.Phases[i].Start < cfg.Phases[j].Start
+	}) {
+		return nil, fmt.Errorf("workload: phases not sorted by start time")
+	}
+	for i, ph := range cfg.Phases {
+		if ph.End <= ph.Start {
+			return nil, fmt.Errorf("workload: phase %d has End <= Start", i)
+		}
+		if ph.Rate < 0 {
+			return nil, fmt.Errorf("workload: phase %d has negative rate", i)
+		}
+		if i > 0 && ph.Start < cfg.Phases[i-1].End {
+			return nil, fmt.Errorf("workload: phase %d overlaps phase %d", i, i-1)
+		}
+	}
+	maxBacklog := cfg.MaxBacklog
+	switch {
+	case maxBacklog == 0:
+		maxBacklog = 5 * cfg.RequestCost * 50 // ~5s of work at 50 req/s
+	case maxBacklog < 0:
+		maxBacklog = 0 // unbounded
+	}
+	return &WebApp{
+		cfg:        cfg,
+		rng:        sim.NewRNG(cfg.Seed),
+		maxBacklog: maxBacklog,
+	}, nil
+}
+
+// rateAt returns the offered request rate at time t.
+func (w *WebApp) rateAt(t sim.Time) float64 {
+	for _, ph := range w.cfg.Phases {
+		if t >= ph.Start && t < ph.End {
+			return ph.Rate
+		}
+	}
+	return 0
+}
+
+// Tick implements Workload: it generates all arrivals in (lastTick, now].
+func (w *WebApp) Tick(now sim.Time) {
+	if now <= w.lastTick {
+		return
+	}
+	t := w.lastTick
+	for t < now {
+		rate := w.rateAt(t)
+		if rate <= 0 {
+			// Skip forward to the next phase boundary (or now).
+			t = w.nextBoundary(t, now)
+			w.haveNext = false
+			continue
+		}
+		if !w.haveArrival() {
+			w.scheduleArrival(t, rate)
+		}
+		if w.nextArr > now {
+			break
+		}
+		// The arrival may fall past the current phase's end; if so, drop
+		// the tentative arrival and re-evaluate from the boundary.
+		if end := w.phaseEnd(t); w.nextArr >= end {
+			t = end
+			w.haveNext = false
+			continue
+		}
+		w.arrive()
+		t = w.nextArr
+		w.haveNext = false
+	}
+	w.lastTick = now
+}
+
+func (w *WebApp) haveArrival() bool { return w.haveNext }
+
+func (w *WebApp) scheduleArrival(t sim.Time, rate float64) {
+	var gap float64 // seconds
+	if w.cfg.Deterministic {
+		gap = 1 / rate
+	} else {
+		gap = w.rng.ExpFloat64() / rate
+	}
+	w.nextArr = t + sim.FromSeconds(gap)
+	if w.nextArr <= t {
+		w.nextArr = t + 1 // at least one microsecond apart
+	}
+	w.haveNext = true
+}
+
+func (w *WebApp) phaseEnd(t sim.Time) sim.Time {
+	for _, ph := range w.cfg.Phases {
+		if t >= ph.Start && t < ph.End {
+			return ph.End
+		}
+	}
+	return t
+}
+
+func (w *WebApp) nextBoundary(t, limit sim.Time) sim.Time {
+	best := limit
+	for _, ph := range w.cfg.Phases {
+		if ph.Start > t && ph.Start < best {
+			best = ph.Start
+		}
+	}
+	return best
+}
+
+func (w *WebApp) arrive() {
+	w.offered++
+	if w.maxBacklog > 0 && w.queue+w.cfg.RequestCost > w.maxBacklog {
+		w.dropped++
+		return
+	}
+	w.queue += w.cfg.RequestCost
+}
+
+// Pending implements Workload.
+func (w *WebApp) Pending() float64 { return w.queue }
+
+// Consume implements Workload.
+func (w *WebApp) Consume(max float64, _ sim.Time) float64 {
+	if max <= 0 || w.queue <= 0 {
+		return 0
+	}
+	used := max
+	if used > w.queue {
+		used = w.queue
+	}
+	w.queue -= used
+	w.completed += used
+	return used
+}
+
+// Offered returns the number of requests generated so far.
+func (w *WebApp) Offered() int64 { return w.offered }
+
+// Dropped returns the number of requests rejected by the backlog bound.
+func (w *WebApp) Dropped() int64 { return w.dropped }
+
+// CompletedWork returns the work units served so far.
+func (w *WebApp) CompletedWork() float64 { return w.completed }
+
+// ExactRate returns the request rate that makes the offered load equal to
+// exactly pct percent of a processor with maximum-frequency throughput
+// maxThroughput (the paper's "exact load": 100% of the VM capacity, not
+// more).
+func ExactRate(maxThroughput, pct, requestCost float64) float64 {
+	if requestCost <= 0 {
+		requestCost = DefaultRequestCost
+	}
+	return maxThroughput * pct / 100 / requestCost
+}
+
+// ThrashingRate returns a request rate that exceeds the VM's capacity by
+// factor (>1), the paper's "thrashing load".
+func ThrashingRate(maxThroughput, pct, requestCost, factor float64) float64 {
+	if factor < 1 {
+		factor = 1
+	}
+	return ExactRate(maxThroughput, pct, requestCost) * factor
+}
+
+// ThreePhase builds the paper's inactive-active-inactive profile: the VM is
+// active in [start, end) at the given rate, inactive elsewhere.
+func ThreePhase(start, end sim.Time, rate float64) []Phase {
+	return []Phase{{Start: start, End: end, Rate: rate}}
+}

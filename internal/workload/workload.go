@@ -1,0 +1,149 @@
+// Package workload models the applications the paper uses to drive its
+// evaluation (Section 5.1):
+//
+//   - PiApp: a CPU-bound computation of fixed total work whose execution
+//     time is the measured quantity ("an application which computes an
+//     approximation of pi").
+//   - WebApp: an open-loop request generator in the style of httperf
+//     driving a Joomla web application; the measured quantity is CPU load.
+//     Requests arrive on a configurable profile (the paper's three-phase
+//     inactive/active/inactive shape) with either an "exact" intensity
+//     (100% of the VM's capacity, not more) or a "thrashing" intensity
+//     (exceeding the VM's capacity).
+//
+// Work is measured in abstract work units: one unit is one processor cycle
+// at nominal efficiency, so a processor at frequency f MHz with efficiency
+// e delivers f*1e6*e units per simulated second.
+package workload
+
+import (
+	"fmt"
+
+	"pasched/internal/sim"
+)
+
+// Workload is the demand source attached to a VM. The host advances the
+// workload with Tick (generating request arrivals and phase transitions)
+// and lets the VM consume pending work when the scheduler runs it.
+//
+// Implementations are not safe for concurrent use; the simulation is
+// single-threaded.
+type Workload interface {
+	// Tick advances internal bookkeeping (arrivals, phases) to now.
+	Tick(now sim.Time)
+	// Pending returns the amount of runnable work in work units. A VM is
+	// runnable whenever its workload has pending work.
+	Pending() float64
+	// Consume removes up to max work units, returning the amount actually
+	// consumed. now is the simulated time at the end of the consumption
+	// interval, used for completion bookkeeping.
+	Consume(max float64, now sim.Time) float64
+}
+
+// Idle is a workload that never has work. It models a powered-on but lazy
+// VM outside its active phases.
+type Idle struct{}
+
+// Tick implements Workload.
+func (Idle) Tick(sim.Time) {}
+
+// Pending implements Workload.
+func (Idle) Pending() float64 { return 0 }
+
+// Consume implements Workload.
+func (Idle) Consume(float64, sim.Time) float64 { return 0 }
+
+// Hog is an always-runnable CPU hog with unbounded work, used by the
+// calibration procedures where the paper saturates a VM.
+type Hog struct {
+	consumed float64
+}
+
+// Tick implements Workload.
+func (h *Hog) Tick(sim.Time) {}
+
+// Pending implements Workload. A hog always has work.
+func (h *Hog) Pending() float64 { return 1e18 }
+
+// Consume implements Workload.
+func (h *Hog) Consume(max float64, _ sim.Time) float64 {
+	if max < 0 {
+		return 0
+	}
+	h.consumed += max
+	return max
+}
+
+// Consumed returns the total work executed by the hog.
+func (h *Hog) Consumed() float64 { return h.consumed }
+
+// PiApp is a fixed amount of CPU-bound work. Its completion time is the
+// execution-time metric used by Figure 1 and Table 2.
+type PiApp struct {
+	total     float64
+	remaining float64
+	started   bool
+	startAt   sim.Time
+	done      bool
+	doneAt    sim.Time
+}
+
+// NewPiApp returns a pi computation of total work units. It returns an
+// error if work is not positive.
+func NewPiApp(work float64) (*PiApp, error) {
+	if work <= 0 {
+		return nil, fmt.Errorf("workload: pi-app work must be positive, got %v", work)
+	}
+	return &PiApp{total: work, remaining: work}, nil
+}
+
+// PiWorkFor returns the amount of work that takes seconds of execution time
+// when granted pct percent of a processor whose maximum-frequency
+// throughput is maxThroughput work units per second. It is the helper used
+// to size experiments: e.g. "a job that takes 1559 s at 20% of the
+// Optiplex's capacity".
+func PiWorkFor(maxThroughput, pct, seconds float64) float64 {
+	return maxThroughput * pct / 100 * seconds
+}
+
+// Tick implements Workload.
+func (p *PiApp) Tick(sim.Time) {}
+
+// Pending implements Workload.
+func (p *PiApp) Pending() float64 { return p.remaining }
+
+// Consume implements Workload.
+func (p *PiApp) Consume(max float64, now sim.Time) float64 {
+	if p.done || max <= 0 {
+		return 0
+	}
+	if !p.started {
+		p.started = true
+		p.startAt = now
+	}
+	used := max
+	if used > p.remaining {
+		used = p.remaining
+	}
+	p.remaining -= used
+	if p.remaining <= 0 {
+		p.remaining = 0
+		p.done = true
+		p.doneAt = now
+	}
+	return used
+}
+
+// Done reports whether the computation has finished.
+func (p *PiApp) Done() bool { return p.done }
+
+// CompletionTime returns the simulated time at which the work completed.
+// The second return value is false while the computation is still running.
+func (p *PiApp) CompletionTime() (sim.Time, bool) {
+	return p.doneAt, p.done
+}
+
+// Progress returns the fraction of the total work already executed.
+func (p *PiApp) Progress() float64 {
+	return (p.total - p.remaining) / p.total
+}

@@ -1,0 +1,326 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pasched/internal/sim"
+)
+
+func TestIdle(t *testing.T) {
+	var w Idle
+	w.Tick(sim.Second)
+	if w.Pending() != 0 {
+		t.Error("Idle has pending work")
+	}
+	if w.Consume(100, sim.Second) != 0 {
+		t.Error("Idle consumed work")
+	}
+}
+
+func TestHogAlwaysRunnable(t *testing.T) {
+	var h Hog
+	h.Tick(0)
+	if h.Pending() <= 0 {
+		t.Error("Hog not runnable")
+	}
+	if got := h.Consume(1000, 0); got != 1000 {
+		t.Errorf("Consume = %v, want 1000", got)
+	}
+	if h.Consumed() != 1000 {
+		t.Errorf("Consumed = %v, want 1000", h.Consumed())
+	}
+	if h.Consume(-5, 0) != 0 {
+		t.Error("Hog consumed negative work")
+	}
+}
+
+func TestPiAppLifecycle(t *testing.T) {
+	p, err := NewPiApp(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Done() {
+		t.Fatal("new PiApp already done")
+	}
+	if _, ok := p.CompletionTime(); ok {
+		t.Fatal("CompletionTime set before completion")
+	}
+	if got := p.Consume(600, sim.Second); got != 600 {
+		t.Errorf("Consume = %v, want 600", got)
+	}
+	if p.Progress() != 0.6 {
+		t.Errorf("Progress = %v, want 0.6", p.Progress())
+	}
+	// Consuming more than remains returns only the remainder.
+	if got := p.Consume(600, 2*sim.Second); got != 400 {
+		t.Errorf("Consume = %v, want 400", got)
+	}
+	if !p.Done() {
+		t.Error("PiApp not done after consuming all work")
+	}
+	at, ok := p.CompletionTime()
+	if !ok || at != 2*sim.Second {
+		t.Errorf("CompletionTime = %v, %v; want 2s, true", at, ok)
+	}
+	// Finished apps consume nothing.
+	if p.Consume(10, 3*sim.Second) != 0 {
+		t.Error("finished PiApp consumed work")
+	}
+}
+
+func TestNewPiAppRejectsNonPositive(t *testing.T) {
+	for _, w := range []float64{0, -1} {
+		if _, err := NewPiApp(w); err == nil {
+			t.Errorf("NewPiApp(%v) succeeded", w)
+		}
+	}
+}
+
+func TestPiWorkFor(t *testing.T) {
+	// 1559 s at 20% of 2667e6 units/s.
+	got := PiWorkFor(2667e6, 20, 1559)
+	want := 2667e6 * 0.2 * 1559
+	if math.Abs(got-want) > 1 {
+		t.Errorf("PiWorkFor = %v, want %v", got, want)
+	}
+}
+
+func TestWebAppValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  WebAppConfig
+	}{
+		{"negative cost", WebAppConfig{RequestCost: -1}},
+		{"unsorted phases", WebAppConfig{Phases: []Phase{
+			{Start: 10 * sim.Second, End: 20 * sim.Second, Rate: 1},
+			{Start: 0, End: 5 * sim.Second, Rate: 1},
+		}}},
+		{"inverted phase", WebAppConfig{Phases: []Phase{
+			{Start: 10 * sim.Second, End: 5 * sim.Second, Rate: 1},
+		}}},
+		{"negative rate", WebAppConfig{Phases: []Phase{
+			{Start: 0, End: 5 * sim.Second, Rate: -1},
+		}}},
+		{"overlapping", WebAppConfig{Phases: []Phase{
+			{Start: 0, End: 10 * sim.Second, Rate: 1},
+			{Start: 5 * sim.Second, End: 15 * sim.Second, Rate: 1},
+		}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewWebApp(tt.cfg); err == nil {
+				t.Error("NewWebApp accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestWebAppDeterministicArrivals(t *testing.T) {
+	w, err := NewWebApp(WebAppConfig{
+		RequestCost:   100,
+		Deterministic: true,
+		Phases:        ThreePhase(0, 10*sim.Second, 5), // 5 req/s for 10 s
+		MaxBacklog:    -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Tick(10 * sim.Second)
+	// 5 req/s for 10 s = 50 arrivals (first at t=0.2s, last at t=10 excluded).
+	if got := w.Offered(); got < 49 || got > 50 {
+		t.Errorf("Offered = %d, want ~50", got)
+	}
+	if w.Pending() != float64(w.Offered())*100 {
+		t.Errorf("Pending = %v, want %v", w.Pending(), float64(w.Offered())*100)
+	}
+}
+
+func TestWebAppInactiveOutsidePhases(t *testing.T) {
+	w, err := NewWebApp(WebAppConfig{
+		RequestCost:   100,
+		Deterministic: true,
+		Phases:        ThreePhase(10*sim.Second, 20*sim.Second, 10),
+		MaxBacklog:    -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Tick(10 * sim.Second)
+	if w.Offered() != 0 {
+		t.Errorf("arrivals before phase start: %d", w.Offered())
+	}
+	w.Tick(30 * sim.Second)
+	afterPhase := w.Offered()
+	if afterPhase == 0 {
+		t.Fatal("no arrivals during active phase")
+	}
+	w.Tick(60 * sim.Second)
+	if w.Offered() != afterPhase {
+		t.Errorf("arrivals after phase end: %d -> %d", afterPhase, w.Offered())
+	}
+}
+
+func TestWebAppPoissonMeanRate(t *testing.T) {
+	const rate = 50.0
+	w, err := NewWebApp(WebAppConfig{
+		RequestCost: 100,
+		Phases:      ThreePhase(0, 200*sim.Second, rate),
+		MaxBacklog:  -1,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance in small steps, as the host loop does.
+	for now := sim.Time(0); now <= 200*sim.Second; now += 10 * sim.Millisecond {
+		w.Tick(now)
+	}
+	got := float64(w.Offered()) / 200
+	if math.Abs(got-rate)/rate > 0.05 {
+		t.Errorf("mean arrival rate = %v, want ~%v", got, rate)
+	}
+}
+
+func TestWebAppBacklogBound(t *testing.T) {
+	w, err := NewWebApp(WebAppConfig{
+		RequestCost:   100,
+		Deterministic: true,
+		Phases:        ThreePhase(0, 10*sim.Second, 100),
+		MaxBacklog:    500, // 5 requests
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Tick(10 * sim.Second)
+	if w.Pending() > 500 {
+		t.Errorf("Pending = %v exceeds backlog bound 500", w.Pending())
+	}
+	if w.Dropped() == 0 {
+		t.Error("no drops despite overload and small backlog")
+	}
+}
+
+func TestWebAppConsume(t *testing.T) {
+	w, err := NewWebApp(WebAppConfig{
+		RequestCost:   100,
+		Deterministic: true,
+		Phases:        ThreePhase(0, sim.Second, 10),
+		MaxBacklog:    -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Tick(sim.Second)
+	pend := w.Pending()
+	if pend == 0 {
+		t.Fatal("no pending work")
+	}
+	got := w.Consume(pend/2, sim.Second)
+	if got != pend/2 {
+		t.Errorf("Consume = %v, want %v", got, pend/2)
+	}
+	if w.CompletedWork() != pend/2 {
+		t.Errorf("CompletedWork = %v, want %v", w.CompletedWork(), pend/2)
+	}
+	// Draining more than pending returns only what is queued.
+	got = w.Consume(pend, 2*sim.Second)
+	if got != pend/2 {
+		t.Errorf("Consume = %v, want %v", got, pend/2)
+	}
+	if w.Pending() != 0 {
+		t.Errorf("Pending = %v after drain, want 0", w.Pending())
+	}
+}
+
+func TestWebAppTickIdempotentBackwards(t *testing.T) {
+	w, err := NewWebApp(WebAppConfig{
+		Deterministic: true,
+		Phases:        ThreePhase(0, 10*sim.Second, 10),
+		MaxBacklog:    -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Tick(5 * sim.Second)
+	n := w.Offered()
+	w.Tick(5 * sim.Second) // same time: no new arrivals
+	w.Tick(3 * sim.Second) // going backwards: ignored
+	if w.Offered() != n {
+		t.Errorf("re-ticking changed arrivals: %d -> %d", n, w.Offered())
+	}
+}
+
+func TestExactAndThrashingRates(t *testing.T) {
+	// Exact load for 20% of the Optiplex: rate*cost = 0.2*2667e6.
+	rate := ExactRate(2667e6, 20, DefaultRequestCost)
+	wantWork := 2667e6 * 0.2
+	if math.Abs(rate*DefaultRequestCost-wantWork) > 1 {
+		t.Errorf("ExactRate offered work = %v, want %v", rate*DefaultRequestCost, wantWork)
+	}
+	th := ThrashingRate(2667e6, 20, DefaultRequestCost, 3)
+	if math.Abs(th/rate-3) > 1e-9 {
+		t.Errorf("ThrashingRate/ExactRate = %v, want 3", th/rate)
+	}
+	// A factor below 1 is clamped to 1 (thrashing is at least exact).
+	if got := ThrashingRate(2667e6, 20, DefaultRequestCost, 0.5); got != rate {
+		t.Errorf("ThrashingRate(factor<1) = %v, want %v", got, rate)
+	}
+}
+
+func TestExactRateDefaultCost(t *testing.T) {
+	a := ExactRate(2667e6, 20, 0)
+	b := ExactRate(2667e6, 20, DefaultRequestCost)
+	if a != b {
+		t.Errorf("default cost mismatch: %v vs %v", a, b)
+	}
+}
+
+func TestQuickWebAppOfferedWorkMatchesRate(t *testing.T) {
+	// Property: for deterministic arrivals with any rate and duration, the
+	// offered work equals rate*cost*duration within one request.
+	f := func(rateRaw, durRaw uint8) bool {
+		rate := float64(rateRaw%50) + 1
+		dur := sim.Time(durRaw%20+1) * sim.Second
+		w, err := NewWebApp(WebAppConfig{
+			RequestCost:   1000,
+			Deterministic: true,
+			Phases:        ThreePhase(0, dur, rate),
+			MaxBacklog:    -1,
+		})
+		if err != nil {
+			return false
+		}
+		w.Tick(dur + sim.Second)
+		want := rate * dur.Seconds()
+		got := float64(w.Offered())
+		return math.Abs(got-want) <= 1.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPiAppConservation(t *testing.T) {
+	// Property: total consumed work never exceeds the configured work, and
+	// the app is done exactly when the sum reaches the total.
+	f := func(chunks []uint16) bool {
+		const total = 50000.0
+		p, err := NewPiApp(total)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for i, c := range chunks {
+			sum += p.Consume(float64(c), sim.Time(i)*sim.Millisecond)
+			if sum > total+1e-6 {
+				return false
+			}
+		}
+		return p.Done() == (sum >= total-1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
