@@ -1,0 +1,3 @@
+module pasched
+
+go 1.24

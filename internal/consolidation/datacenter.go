@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pasched/internal/engine"
 	"pasched/internal/host"
 	"pasched/internal/sim"
 	"pasched/internal/vm"
@@ -39,6 +40,7 @@ type DataCenter struct {
 	autoInterval sim.Time // 0 = manual consolidation only
 	nextPlan     sim.Time
 	poweredOff   int
+	workers      int
 }
 
 // machine is one physical host plus its power state.
@@ -82,6 +84,7 @@ func NewDataCenter(spec HostSpec, n int, usePAS bool) (*DataCenter, error) {
 		bandwidth: DefaultMigrationBandwidthMBps,
 		step:      100 * sim.Millisecond,
 		vms:       make(map[string]*placedVM),
+		workers:   engine.DefaultWorkers(),
 	}
 	for i := 0; i < n; i++ {
 		h, err := buildHost(spec, usePAS)
@@ -95,6 +98,20 @@ func NewDataCenter(spec HostSpec, n int, usePAS bool) (*DataCenter, error) {
 
 // Machines returns the number of machines.
 func (dc *DataCenter) Machines() int { return len(dc.machines) }
+
+// SetWorkers bounds how many machines step concurrently between
+// synchronization barriers (migration completion and consolidation
+// planning run sequentially at the barrier). Machines are fully
+// independent hosts, so the simulation result is identical for any
+// worker count. Zero or negative selects GOMAXPROCS (the default, and
+// the same convention as multicore.Config.Workers); 1 forces sequential
+// stepping.
+func (dc *DataCenter) SetWorkers(w int) {
+	if w < 1 {
+		w = engine.DefaultWorkers()
+	}
+	dc.workers = w
+}
 
 // ActiveMachines returns the number of powered-on machines.
 func (dc *DataCenter) ActiveMachines() int {
@@ -310,28 +327,47 @@ func (dc *DataCenter) PowerOn(i int) error {
 	return nil
 }
 
-// Run advances the data center by d in lockstep.
+// Run advances the data center by d in lockstep. Between barriers the
+// powered-on machines are independent simulated hosts and step
+// concurrently on the engine's worker pool; migration completion,
+// consolidation planning and the energy roll-up run sequentially at the
+// barrier (in machine order, so the totals are deterministic for any
+// worker count).
 func (dc *DataCenter) Run(d sim.Time) error {
 	target := dc.now + d
+	tasks := make([]func() error, 0, len(dc.machines))
 	for dc.now < target {
 		next := dc.now + dc.step
 		if next > target {
 			next = target
 		}
+		tasks = tasks[:0]
 		for i, m := range dc.machines {
 			if !m.on {
 				continue
 			}
-			// Powered-off periods are skipped wholesale: catch the
-			// machine's clock up without charging idle energy for the
-			// off time.
-			if m.h.Now() < dc.now {
-				if err := dc.skipTo(m, dc.now); err != nil {
+			i, m := i, m
+			tasks = append(tasks, func() error {
+				// Powered-off periods are skipped wholesale: catch the
+				// machine's clock up without charging idle energy for
+				// the off time.
+				if m.h.Now() < dc.now {
+					if err := dc.skipTo(m, dc.now); err != nil {
+						return fmt.Errorf("consolidation: machine %d: %w", i, err)
+					}
+				}
+				if err := m.h.RunUntil(next); err != nil {
 					return fmt.Errorf("consolidation: machine %d: %w", i, err)
 				}
-			}
-			if err := m.h.RunUntil(next); err != nil {
-				return fmt.Errorf("consolidation: machine %d: %w", i, err)
+				return nil
+			})
+		}
+		if err := engine.RunParallel(dc.workers, tasks); err != nil {
+			return err
+		}
+		for _, m := range dc.machines {
+			if !m.on {
+				continue
 			}
 			j := m.h.Energy().Joules()
 			dc.joules += j - m.prevJoules

@@ -79,9 +79,11 @@ type PAS struct {
 }
 
 var (
-	_ sched.Scheduler       = (*PAS)(nil)
-	_ sched.CapSetter       = (*PAS)(nil)
-	_ sched.EffectiveCapper = (*PAS)(nil)
+	_ sched.Scheduler        = (*PAS)(nil)
+	_ sched.CapSetter        = (*PAS)(nil)
+	_ sched.EffectiveCapper  = (*PAS)(nil)
+	_ sched.BoundaryReporter = (*PAS)(nil)
+	_ sched.Batcher          = (*PAS)(nil)
 )
 
 // NewPAS builds a PAS scheduler.
@@ -173,6 +175,24 @@ func (p *PAS) Tick(now sim.Time) {
 		p.updateDvfsAndCredits(p.next)
 		p.next += p.interval
 	}
+}
+
+// NextBoundary implements sched.BoundaryReporter: the earlier of the
+// Credit refill and the next PAS recomputation (which can change the
+// frequency and every VM's cap, so batched steps must stop before it).
+func (p *PAS) NextBoundary(now sim.Time) sim.Time {
+	b := p.credit.NextBoundary(now)
+	if p.loads != nil && p.next < b {
+		b = p.next
+	}
+	return b
+}
+
+// BatchPick implements sched.Batcher by delegating to the underlying
+// Credit scheduler; the PAS recomputation itself is excluded from batched
+// stretches by NextBoundary.
+func (p *PAS) BatchPick(v *vm.VM, quantum sim.Time, max int, now sim.Time) (int, bool) {
+	return p.credit.BatchPick(v, quantum, max, now)
 }
 
 // updateDvfsAndCredits is the paper's Listing 1.2: compute the new

@@ -66,6 +66,17 @@ func (c *CPU) SetFreq(f Freq, now sim.Time) error {
 	return nil
 }
 
+// PendingSwitch reports an in-flight frequency transition: the target
+// frequency, the time it completes, and whether one exists. The
+// simulation engine stops batched steps at the completion time so the
+// quantum that observes the new frequency runs with reference semantics.
+func (c *CPU) PendingSwitch() (Freq, sim.Time, bool) {
+	if c.pending == 0 {
+		return 0, 0, false
+	}
+	return c.pending, c.switchAt, true
+}
+
 // Advance accounts residency up to time now and completes any due pending
 // transition. The host calls it once per scheduling quantum before using
 // the CPU's throughput.

@@ -13,11 +13,18 @@ import (
 	"pasched/internal/sim"
 )
 
-// Meter integrates power draw over simulated time.
+// Meter integrates power draw over simulated time. The per-P-state power
+// coefficients are precomputed at construction so the per-quantum Add on
+// the simulation hot path involves no map operations or profile lookups
+// (the arithmetic matches cpufreq.Profile.Power exactly).
 type Meter struct {
 	prof    *cpufreq.Profile
 	joules  float64
-	byFreq  map[cpufreq.Freq]float64 // joules per frequency
+	freqs   []cpufreq.Freq // ladder frequencies, by P-state index
+	dyn     []float64      // dynamic power coefficient, by P-state index
+	byState []float64      // joules, by P-state index
+	lastF   cpufreq.Freq   // index cache: frequencies change rarely
+	lastI   int
 	elapsed sim.Time
 }
 
@@ -26,10 +33,19 @@ func NewMeter(prof *cpufreq.Profile) (*Meter, error) {
 	if err := prof.Validate(); err != nil {
 		return nil, fmt.Errorf("energy: %w", err)
 	}
-	return &Meter{
-		prof:   prof,
-		byFreq: make(map[cpufreq.Freq]float64, prof.Levels()),
-	}, nil
+	m := &Meter{
+		prof:    prof,
+		freqs:   make([]cpufreq.Freq, prof.Levels()),
+		dyn:     make([]float64, prof.Levels()),
+		byState: make([]float64, prof.Levels()),
+		lastI:   -1,
+	}
+	for i, s := range prof.States {
+		fGHz := float64(s.Freq) / 1000
+		m.freqs[i] = s.Freq
+		m.dyn[i] = prof.DynCoeff * s.Voltage * s.Voltage * fGHz
+	}
+	return m, nil
 }
 
 // Add integrates one interval of length dt at frequency f and utilization
@@ -39,13 +55,25 @@ func (m *Meter) Add(dt sim.Time, f cpufreq.Freq, util float64) error {
 	if dt < 0 {
 		return fmt.Errorf("energy: negative interval %v", dt)
 	}
-	p, err := m.prof.Power(f, util)
-	if err != nil {
-		return fmt.Errorf("energy: %w", err)
+	i := m.lastI
+	if f != m.lastF || i < 0 {
+		var err error
+		i, err = m.prof.Index(f)
+		if err != nil {
+			return fmt.Errorf("energy: %w", err)
+		}
+		m.lastF, m.lastI = f, i
 	}
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	p := m.prof.StaticPower + m.dyn[i]*(m.prof.IdleFactor+(1-m.prof.IdleFactor)*util)
 	j := p * dt.Seconds()
 	m.joules += j
-	m.byFreq[f] += j
+	m.byState[i] += j
 	m.elapsed += dt
 	return nil
 }
@@ -66,7 +94,14 @@ func (m *Meter) AveragePower() float64 {
 }
 
 // JoulesAt returns the energy consumed while at frequency f.
-func (m *Meter) JoulesAt(f cpufreq.Freq) float64 { return m.byFreq[f] }
+func (m *Meter) JoulesAt(f cpufreq.Freq) float64 {
+	for i, lf := range m.freqs {
+		if lf == f {
+			return m.byState[i]
+		}
+	}
+	return 0
+}
 
 // Savings returns the relative energy saving of this meter against a
 // baseline meter: (baseline - this) / baseline. It returns 0 when the

@@ -1,0 +1,231 @@
+// Package engine is the shared simulation engine behind every simulated
+// machine in the repository: the single host (internal/host), the
+// multi-core cluster (internal/multicore) and the consolidation data
+// center (internal/consolidation).
+//
+// The engine owns the three things every machine used to hand-roll
+// separately — the simulated clock, the ordered event queue, and the
+// periodic actions (load meter, recorder sampler, user-level agents) —
+// and drives the machine through a fixed scheduling quantum exactly as
+// the original quantum-by-quantum loop did:
+//
+//	for clock < target:
+//	    fire due events            (queue, at the quantum start)
+//	    machine executes quanta    (Step or BatchStep)
+//	    fire due periodic actions  (in registration order, at quantum end)
+//
+// Its contribution is the *event horizon*: before stepping, the engine
+// computes the earliest upcoming moment anything discrete can happen — a
+// scheduled event, a periodic-action boundary, the run target — and
+// offers the machine the whole uninterrupted stretch as one batched step.
+// The machine accepts only when it can prove the stretch is uniform
+// (idle processor, or a single runnable VM consuming full quanta with no
+// scheduler, governor or workload boundary inside), so a batched run is
+// observationally identical to stepping the quanta one by one; otherwise
+// the engine falls back to a single reference-semantics quantum. Idle
+// hosts and single-runnable-VM stretches thus cost O(1) per horizon
+// instead of O(quanta).
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"pasched/internal/sim"
+)
+
+// Machine is the simulated machine an Engine drives. Implementations hold
+// the domain state (processor, scheduler, VMs); the engine holds time.
+type Machine interface {
+	// Step executes exactly one scheduling quantum beginning at now,
+	// with reference (quantum-by-quantum) semantics. The engine advances
+	// the clock afterwards; Step must not.
+	Step(now sim.Time) error
+	// BatchStep executes up to max consecutive quanta beginning at now
+	// as one batched step, returning how many quanta it executed. It
+	// returns 0 (not an error) when the stretch ahead cannot be proven
+	// uniform, in which case the engine falls back to Step. The engine
+	// guarantees max >= 2 and that no engine-owned boundary (event or
+	// periodic action) lies strictly inside the offered stretch.
+	BatchStep(now sim.Time, max int) (int, error)
+}
+
+// Action order groups: actions fire in ascending order at a shared
+// boundary, matching the fixed sequence of the original host loop.
+const (
+	// OrderMeter is the load-meter group (fires first).
+	OrderMeter = 100
+	// OrderAgents is the user-level agent group.
+	OrderAgents = 200
+	// OrderSampler is the recorder-sampler group (fires last).
+	OrderSampler = 300
+)
+
+// action is one periodic action: fn fires for every interval boundary
+// that a step has covered, receiving the boundary time (not the clock).
+type action struct {
+	name     string
+	interval sim.Time
+	next     sim.Time
+	order    int
+	seq      int
+	fn       func(now sim.Time) error
+}
+
+// Engine owns simulated time for one machine: clock, event queue and
+// periodic actions.
+type Engine struct {
+	clock   sim.Clock
+	queue   sim.Queue
+	quantum sim.Time
+	machine Machine
+	actions []*action
+	batched int64 // quanta executed through BatchStep
+	stepped int64 // quanta executed through Step
+}
+
+// New returns an engine driving machine m at the given quantum.
+func New(quantum sim.Time, m Machine) (*Engine, error) {
+	if quantum <= 0 {
+		return nil, fmt.Errorf("engine: quantum must be positive, got %v", quantum)
+	}
+	if m == nil {
+		return nil, fmt.Errorf("engine: nil machine")
+	}
+	return &Engine{quantum: quantum, machine: m}, nil
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() sim.Time { return e.clock.Now() }
+
+// Quantum returns the scheduling quantum.
+func (e *Engine) Quantum() sim.Time { return e.quantum }
+
+// Schedule enqueues fn to run at simulated time at. Events fire at the
+// start of the first quantum whose start time is >= at, before the
+// machine steps, in (time, scheduling) order.
+func (e *Engine) Schedule(at sim.Time, fn sim.EventFunc) {
+	e.queue.Schedule(at, fn)
+}
+
+// AddAction registers a periodic action. The action first fires one
+// interval from now; actions sharing a boundary fire in ascending
+// (order, registration) order. The boundary time — not the clock — is
+// passed to fn, mirroring the original loop's "fire every elapsed
+// boundary" semantics.
+func (e *Engine) AddAction(name string, interval sim.Time, order int, fn func(now sim.Time) error) error {
+	if interval <= 0 {
+		return fmt.Errorf("engine: action %q interval must be positive, got %v", name, interval)
+	}
+	if fn == nil {
+		return fmt.Errorf("engine: action %q has nil function", name)
+	}
+	e.actions = append(e.actions, &action{
+		name:     name,
+		interval: interval,
+		next:     e.clock.Now() + interval,
+		order:    order,
+		seq:      len(e.actions),
+		fn:       fn,
+	})
+	sort.SliceStable(e.actions, func(i, j int) bool {
+		if e.actions[i].order != e.actions[j].order {
+			return e.actions[i].order < e.actions[j].order
+		}
+		return e.actions[i].seq < e.actions[j].seq
+	})
+	return nil
+}
+
+// BatchedQuanta returns how many quanta were executed through batched
+// steps, for tests and introspection.
+func (e *Engine) BatchedQuanta() int64 { return e.batched }
+
+// SteppedQuanta returns how many quanta were executed one by one.
+func (e *Engine) SteppedQuanta() int64 { return e.stepped }
+
+// QuantaCovering returns how many whole quanta of the given length cover
+// the duration d: ceil(d/quantum), at least 1. A boundary at distance d
+// is handled (event fired, action run, workload change observed) at the
+// end of that many quanta, so a batch may extend exactly that far and no
+// further. Machines share this helper when bounding their own batched
+// steps.
+func QuantaCovering(d, quantum sim.Time) int {
+	n := (d + quantum - 1) / quantum
+	if n < 1 {
+		n = 1
+	}
+	return int(n)
+}
+
+// quantaCovering is QuantaCovering at the engine's own quantum.
+func (e *Engine) quantaCovering(d sim.Time) int {
+	return QuantaCovering(d, e.quantum)
+}
+
+// horizonQuanta returns the number of quanta from now to the event
+// horizon: the earliest of the run target, the next scheduled event and
+// the next periodic-action boundary, each rounded up to a whole quantum.
+func (e *Engine) horizonQuanta(now, target sim.Time) int {
+	max := e.quantaCovering(target - now)
+	if at, ok := e.queue.Next(); ok {
+		if n := e.quantaCovering(at - now); n < max {
+			max = n
+		}
+	}
+	for _, a := range e.actions {
+		if n := e.quantaCovering(a.next - now); n < max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Run advances the simulation by d.
+func (e *Engine) Run(d sim.Time) error {
+	return e.RunUntil(e.clock.Now() + d)
+}
+
+// RunUntil advances the simulation until simulated time t, executing
+// whole quanta (the clock may finish past t by less than one quantum,
+// exactly as the original loops did).
+func (e *Engine) RunUntil(t sim.Time) error {
+	for e.clock.Now() < t {
+		now := e.clock.Now()
+		if _, err := e.queue.RunDue(now); err != nil {
+			return fmt.Errorf("engine: %w", err)
+		}
+		n := 0
+		if max := e.horizonQuanta(now, t); max > 1 {
+			var err error
+			n, err = e.machine.BatchStep(now, max)
+			if err != nil {
+				return err
+			}
+			if n < 0 || n > max {
+				return fmt.Errorf("engine: machine batched %d quanta of %d offered", n, max)
+			}
+			e.batched += int64(n)
+		}
+		if n == 0 {
+			if err := e.machine.Step(now); err != nil {
+				return err
+			}
+			n = 1
+			e.stepped++
+		}
+		if err := e.clock.Advance(sim.Time(n) * e.quantum); err != nil {
+			return fmt.Errorf("engine: %w", err)
+		}
+		end := e.clock.Now()
+		for _, a := range e.actions {
+			for end >= a.next {
+				if err := a.fn(a.next); err != nil {
+					return err
+				}
+				a.next += a.interval
+			}
+		}
+	}
+	return nil
+}

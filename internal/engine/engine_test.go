@@ -1,0 +1,249 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"pasched/internal/sim"
+)
+
+// scriptMachine records every Step/BatchStep call and optionally accepts
+// batches of the full offered size.
+type scriptMachine struct {
+	batch bool
+	log   []string
+	// offers records (now, max) for every BatchStep call.
+	offers [][2]int64
+}
+
+func (m *scriptMachine) Step(now sim.Time) error {
+	m.log = append(m.log, fmt.Sprintf("step@%d", now))
+	return nil
+}
+
+func (m *scriptMachine) BatchStep(now sim.Time, max int) (int, error) {
+	m.offers = append(m.offers, [2]int64{int64(now), int64(max)})
+	if !m.batch {
+		return 0, nil
+	}
+	m.log = append(m.log, fmt.Sprintf("batch@%d+%d", now, max))
+	return max, nil
+}
+
+func newTestEngine(t *testing.T, q sim.Time, m Machine) *Engine {
+	t.Helper()
+	e, err := New(q, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, &scriptMachine{}); err == nil {
+		t.Fatal("want error for zero quantum")
+	}
+	if _, err := New(sim.Millisecond, nil); err == nil {
+		t.Fatal("want error for nil machine")
+	}
+	e := newTestEngine(t, sim.Millisecond, &scriptMachine{})
+	if err := e.AddAction("bad", 0, OrderMeter, func(sim.Time) error { return nil }); err == nil {
+		t.Fatal("want error for zero action interval")
+	}
+	if err := e.AddAction("bad", sim.Second, OrderMeter, nil); err == nil {
+		t.Fatal("want error for nil action fn")
+	}
+}
+
+// TestActionOrdering verifies that actions sharing a boundary fire in
+// ascending (order, registration) sequence regardless of the order they
+// were registered in, and that each firing receives the boundary time.
+func TestActionOrdering(t *testing.T) {
+	m := &scriptMachine{}
+	e := newTestEngine(t, sim.Millisecond, m)
+	var fired []string
+	add := func(name string, order int) {
+		if err := e.AddAction(name, 2*sim.Millisecond, order, func(now sim.Time) error {
+			fired = append(fired, fmt.Sprintf("%s@%d", name, now))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("sampler", OrderSampler)
+	add("meter", OrderMeter)
+	add("agent-1", OrderAgents)
+	add("agent-2", OrderAgents)
+	if err := e.RunUntil(4 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"meter@2000", "agent-1@2000", "agent-2@2000", "sampler@2000",
+		"meter@4000", "agent-1@4000", "agent-2@4000", "sampler@4000",
+	}
+	if !reflect.DeepEqual(fired, want) {
+		t.Fatalf("firing order:\n got %v\nwant %v", fired, want)
+	}
+}
+
+// TestEventTieBreakAndAlignment verifies that events sharing an instant
+// fire in scheduling order, and that an event scheduled mid-quantum fires
+// at the start of the covering quantum, before the machine steps.
+func TestEventTieBreakAndAlignment(t *testing.T) {
+	m := &scriptMachine{}
+	e := newTestEngine(t, sim.Millisecond, m)
+	var fired []string
+	e.Schedule(1500, func(now sim.Time) { fired = append(fired, fmt.Sprintf("a@%d", now)) })
+	e.Schedule(1500, func(now sim.Time) { fired = append(fired, fmt.Sprintf("b@%d", now)) })
+	e.Schedule(500, func(now sim.Time) { fired = append(fired, fmt.Sprintf("c@%d", now)) })
+	if err := e.RunUntil(3 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// c (due 500) fires at the start of quantum 1000; a then b fire in
+	// scheduling order at the start of quantum 2000.
+	if want := []string{"c@500", "a@1500", "b@1500"}; !reflect.DeepEqual(fired, want) {
+		t.Fatalf("event order: got %v want %v", fired, want)
+	}
+	// The machine stepped each quantum after the events already fired.
+	if want := []string{"step@0", "step@1000", "step@2000"}; !reflect.DeepEqual(m.log, want) {
+		t.Fatalf("steps: got %v want %v", m.log, want)
+	}
+}
+
+// TestBatchOffersRespectHorizon verifies the engine never offers a batch
+// that extends past the covering quantum of the next event or action
+// boundary.
+func TestBatchOffersRespectHorizon(t *testing.T) {
+	m := &scriptMachine{batch: true}
+	e := newTestEngine(t, sim.Millisecond, m)
+	var boundaries []sim.Time
+	if err := e.AddAction("meter", 7*sim.Millisecond, OrderMeter, func(now sim.Time) error {
+		boundaries = append(boundaries, now)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.Schedule(4500, func(sim.Time) {})
+	if err := e.RunUntil(30 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// First offer: event horizon at 4.5 ms -> 5 quanta from 0.
+	if m.offers[0] != [2]int64{0, 5} {
+		t.Fatalf("first offer: got %v want {0 5}", m.offers[0])
+	}
+	// No offer may cross the next meter boundary's covering quantum.
+	for _, off := range m.offers {
+		now, max := off[0], off[1]
+		end := now + max*1000
+		past := false
+		for _, b := range []int64{7000, 14000, 21000, 28000} {
+			if now < b && end > b {
+				past = true
+			}
+		}
+		if past {
+			t.Fatalf("offer %v crosses an action boundary", off)
+		}
+	}
+	if want := []sim.Time{7000, 14000, 21000, 28000}; !reflect.DeepEqual(boundaries, want) {
+		t.Fatalf("meter boundaries: got %v want %v", boundaries, want)
+	}
+	if e.BatchedQuanta() == 0 {
+		t.Fatal("batching never engaged")
+	}
+}
+
+// TestBatchedMatchesStepped verifies a fully batching machine sees the
+// same clock, fires the same actions at the same instants, and covers the
+// same number of quanta as a machine stepping one quantum at a time.
+func TestBatchedMatchesStepped(t *testing.T) {
+	run := func(batch bool) (fired []string, quanta int64) {
+		m := &scriptMachine{batch: batch}
+		e := newTestEngine(t, sim.Millisecond, m)
+		for _, a := range []struct {
+			name     string
+			interval sim.Time
+			order    int
+		}{{"meter", 3 * sim.Millisecond, OrderMeter}, {"sample", 10 * sim.Millisecond, OrderSampler}} {
+			a := a
+			if err := e.AddAction(a.name, a.interval, a.order, func(now sim.Time) error {
+				fired = append(fired, fmt.Sprintf("%s@%d", a.name, now))
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.Schedule(12300, func(now sim.Time) { fired = append(fired, fmt.Sprintf("ev@%d", now)) })
+		if err := e.RunUntil(50 * sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		return fired, e.BatchedQuanta() + e.SteppedQuanta()
+	}
+	bFired, bQuanta := run(true)
+	sFired, sQuanta := run(false)
+	if !reflect.DeepEqual(bFired, sFired) {
+		t.Fatalf("action/event traces differ:\nbatched %v\nstepped %v", bFired, sFired)
+	}
+	if bQuanta != sQuanta {
+		t.Fatalf("quanta differ: batched %d stepped %d", bQuanta, sQuanta)
+	}
+}
+
+// errMachine fails its nth step.
+type errMachine struct {
+	n    int
+	step int
+}
+
+func (m *errMachine) Step(sim.Time) error {
+	m.step++
+	if m.step >= m.n {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+func (m *errMachine) BatchStep(sim.Time, int) (int, error) { return 0, nil }
+
+func TestStepErrorPropagates(t *testing.T) {
+	e := newTestEngine(t, sim.Millisecond, &errMachine{n: 3})
+	if err := e.RunUntil(sim.Second); err == nil || err.Error() != "boom" {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if e.Now() != 2*sim.Millisecond {
+		t.Fatalf("clock after failure: %v", e.Now())
+	}
+}
+
+func TestRunParallel(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		var results [64]int
+		tasks := make([]func() error, 64)
+		for i := range tasks {
+			i := i
+			tasks[i] = func() error { results[i] = i * i; return nil }
+		}
+		if err := RunParallel(workers, tasks); err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range results {
+			if r != i*i {
+				t.Fatalf("workers=%d: task %d not run", workers, i)
+			}
+		}
+	}
+	// First error in task order wins, regardless of scheduling.
+	tasks := make([]func() error, 8)
+	for i := range tasks {
+		i := i
+		tasks[i] = func() error { return fmt.Errorf("task %d", i) }
+	}
+	if err := RunParallel(4, tasks); err == nil || err.Error() != "task 0" {
+		t.Fatalf("got %v, want task 0", err)
+	}
+	if err := RunParallel(4, nil); err != nil {
+		t.Fatalf("empty task list: %v", err)
+	}
+}

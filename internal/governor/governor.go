@@ -49,6 +49,18 @@ type Governor interface {
 	Tick(stats Stats) (cpufreq.Freq, bool)
 }
 
+// DecisionHorizon is implemented by governors that can promise when their
+// next decision could possibly happen: until the returned time, Tick is a
+// pure no-op (no decision, no internal state change), so the simulation
+// engine may skip the per-quantum Tick calls inside a batched step.
+// Governors without this interface force quantum-by-quantum stepping.
+type DecisionHorizon interface {
+	// NextDecision returns the earliest time at or after which Tick may
+	// return a decision or mutate governor state, given the current
+	// statistics; sim.Never means no pending decision.
+	NextDecision(st Stats) sim.Time
+}
+
 // Performance pins the processor at the maximum frequency.
 type Performance struct {
 	applied bool
@@ -66,6 +78,14 @@ func (g *Performance) Tick(st Stats) (cpufreq.Freq, bool) {
 	return st.Prof.Max(), true
 }
 
+// NextDecision implements DecisionHorizon.
+func (g *Performance) NextDecision(st Stats) sim.Time {
+	if g.applied && st.Cur == st.Prof.Max() {
+		return sim.Never
+	}
+	return st.Now
+}
+
 // Powersave pins the processor at the minimum frequency.
 type Powersave struct {
 	applied bool
@@ -81,6 +101,14 @@ func (g *Powersave) Tick(st Stats) (cpufreq.Freq, bool) {
 	}
 	g.applied = true
 	return st.Prof.Min(), true
+}
+
+// NextDecision implements DecisionHorizon.
+func (g *Powersave) NextDecision(st Stats) sim.Time {
+	if g.applied && st.Cur == st.Prof.Min() {
+		return sim.Never
+	}
+	return st.Now
 }
 
 // Userspace lets an application set the frequency manually, as the Linux
@@ -106,6 +134,14 @@ func (g *Userspace) Tick(Stats) (cpufreq.Freq, bool) {
 	}
 	g.pending = false
 	return g.target, true
+}
+
+// NextDecision implements DecisionHorizon.
+func (g *Userspace) NextDecision(st Stats) sim.Time {
+	if g.pending {
+		return st.Now
+	}
+	return sim.Never
 }
 
 // Clamped wraps a governor and bounds its decisions to a floor P-state.
@@ -141,6 +177,15 @@ func (c *Clamped) Tick(st Stats) (cpufreq.Freq, bool) {
 	return f, true
 }
 
+// NextDecision implements DecisionHorizon by delegating to the wrapped
+// governor when it reports a horizon.
+func (c *Clamped) NextDecision(st Stats) sim.Time {
+	if dh, ok := c.Inner.(DecisionHorizon); ok {
+		return dh.NextDecision(st)
+	}
+	return st.Now
+}
+
 // utilSampler computes utilization over fixed sampling intervals from the
 // cumulative busy counter.
 type utilSampler struct {
@@ -165,6 +210,9 @@ func (s *utilSampler) sample(st Stats) (float64, bool) {
 	}
 	return util, true
 }
+
+// next returns the earliest time the sampler can produce a sample.
+func (s *utilSampler) next() sim.Time { return s.lastT + s.interval }
 
 // LinuxOndemand models the stock Ondemand governor: it samples utilization
 // over short windows and, on every sample, either jumps straight to the
@@ -227,6 +275,9 @@ func (g *LinuxOndemand) Tick(st Stats) (cpufreq.Freq, bool) {
 	needed := float64(st.Cur) * load / g.upThreshold
 	return st.Prof.FloorFor(cpufreq.Freq(needed + 1)), true
 }
+
+// NextDecision implements DecisionHorizon: the sampler's next window end.
+func (g *LinuxOndemand) NextDecision(Stats) sim.Time { return g.sampler.next() }
 
 // Conservative models the Linux conservative governor: it moves one ladder
 // step at a time, up when load exceeds the up-threshold and down when load
@@ -291,3 +342,6 @@ func (g *Conservative) Tick(st Stats) (cpufreq.Freq, bool) {
 	}
 	return 0, false
 }
+
+// NextDecision implements DecisionHorizon: the sampler's next window end.
+func (g *Conservative) NextDecision(Stats) sim.Time { return g.sampler.next() }

@@ -101,6 +101,12 @@ func NewPaperOndemand(cfg PaperOndemandConfig) (*PaperOndemand, error) {
 // Name implements Governor.
 func (g *PaperOndemand) Name() string { return "paper-ondemand" }
 
+// NextDecision implements DecisionHorizon: the end of the current
+// sampling window.
+func (g *PaperOndemand) NextDecision(Stats) sim.Time {
+	return g.lastT + g.cfg.SamplingInterval
+}
+
 // cfAt returns the calibration factor for ladder index i.
 func (g *PaperOndemand) cfAt(i int) float64 {
 	if g.cf == nil || i >= len(g.cf) {

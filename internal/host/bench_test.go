@@ -35,6 +35,43 @@ func benchHost(b *testing.B, s sched.Scheduler, bind func(h *host.Host)) *host.H
 	return h
 }
 
+// BenchmarkHostStep measures the engine's event-horizon batching against
+// the reference quantum-by-quantum loop on the same fix-credit host: one
+// op advances one simulated second (1000 quanta). The batched/reference
+// ratio is the engine's speedup on hard-capped single-runnable stretches.
+func BenchmarkHostStep(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		reference bool
+	}{{"batched", false}, {"reference", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			h, err := host.New(host.Config{
+				Profile:   cpufreq.Optiplex755(),
+				Scheduler: sched.NewCredit(sched.CreditConfig{}),
+				Reference: mode.reference,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			v, err := vm.New(1, vm.Config{Name: "V20", Credit: 20})
+			if err != nil {
+				b.Fatal(err)
+			}
+			v.SetWorkload(&workload.Hog{})
+			if err := h.AddVM(v); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := h.Run(sim.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(h.Engine().BatchedQuanta())/float64(b.N), "batched_quanta/op")
+		})
+	}
+}
+
 // BenchmarkHostStepCredit measures simulation throughput (quanta/op) with
 // the Credit scheduler: one op advances one simulated second (1000 quanta).
 func BenchmarkHostStepCredit(b *testing.B) {

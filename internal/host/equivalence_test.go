@@ -1,0 +1,257 @@
+package host_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pasched/internal/core"
+	"pasched/internal/cpufreq"
+	"pasched/internal/governor"
+	"pasched/internal/host"
+	"pasched/internal/sched"
+	"pasched/internal/sim"
+	"pasched/internal/vm"
+	"pasched/internal/workload"
+)
+
+// scenario builds one host twice — batched and reference — so the
+// equivalence tests can compare their traces.
+type scenario struct {
+	name string
+	// build constructs the host; reference toggles Config.Reference.
+	build func(t *testing.T, reference bool) *host.Host
+}
+
+// webApp builds a deterministic web workload offering pct% of capacity
+// during [start, end).
+func webApp(t *testing.T, prof *cpufreq.Profile, pct float64, start, end sim.Time) *workload.WebApp {
+	t.Helper()
+	maxTp, err := prof.Throughput(prof.Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := workload.NewWebApp(workload.WebAppConfig{
+		Deterministic: true,
+		Phases:        workload.ThreePhase(start, end, workload.ExactRate(maxTp, pct, workload.DefaultRequestCost)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func addVM(t *testing.T, h *host.Host, id vm.ID, name string, credit float64, wl workload.Workload) *vm.VM {
+	t.Helper()
+	v, err := vm.New(id, vm.Config{Name: name, Credit: credit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetWorkload(wl)
+	if err := h.AddVM(v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func equivalenceScenarios() []scenario {
+	prof := cpufreq.Optiplex755()
+	return []scenario{
+		{
+			// Fix-credit host: a hard-capped pi job (busy batches), a
+			// three-phase web VM (idle and arrival-bounded stretches)
+			// and long fully idle gaps.
+			name: "credit",
+			build: func(t *testing.T, reference bool) *host.Host {
+				h, err := host.New(host.Config{
+					Profile:   prof,
+					Scheduler: sched.NewCredit(sched.CreditConfig{}),
+					Reference: reference,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				pi, err := workload.NewPiApp(1e9)
+				if err != nil {
+					t.Fatal(err)
+				}
+				addVM(t, h, 1, "V20", 20, pi)
+				addVM(t, h, 2, "V40", 40, webApp(t, prof, 30, 10*sim.Second, 25*sim.Second))
+				return h
+			},
+		},
+		{
+			// In-scheduler PAS: frequency and credits recompute every
+			// 10 ms; batched stretches must stop at each recomputation.
+			name: "pas",
+			build: func(t *testing.T, reference bool) *host.Host {
+				cpu, err := cpufreq.NewCPU(prof)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pas, err := core.NewPAS(core.PASConfig{CPU: cpu})
+				if err != nil {
+					t.Fatal(err)
+				}
+				h, err := host.New(host.Config{CPU: cpu, Scheduler: pas, Reference: reference})
+				if err != nil {
+					t.Fatal(err)
+				}
+				pas.BindLoadSource(h)
+				addVM(t, h, 1, "V20", 20, webApp(t, prof, 20, 5*sim.Second, 20*sim.Second))
+				addVM(t, h, 2, "V40", 40, &workload.Hog{})
+				return h
+			},
+		},
+		{
+			// Variable-credit SEDF with extratime plus the paper's
+			// governor: slice, extratime and governor-decision
+			// boundaries all bound the batches.
+			name: "sedf+paper-governor",
+			build: func(t *testing.T, reference bool) *host.Host {
+				gov, err := governor.NewPaperOndemand(governor.PaperOndemandConfig{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				h, err := host.New(host.Config{
+					Profile:   prof,
+					Scheduler: sched.NewSEDF(sched.SEDFConfig{DefaultExtratime: true}),
+					Governor:  gov,
+					Reference: reference,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				pi, err := workload.NewPiApp(5e9)
+				if err != nil {
+					t.Fatal(err)
+				}
+				addVM(t, h, 1, "V20", 20, pi)
+				addVM(t, h, 2, "V40", 40, webApp(t, prof, 25, 8*sim.Second, 18*sim.Second))
+				return h
+			},
+		},
+		{
+			// User-level credit manager: an agent boundary every second
+			// adjusts caps, plus scheduled workload swaps mid-run.
+			name: "credit+agent+events",
+			build: func(t *testing.T, reference bool) *host.Host {
+				cpu, err := cpufreq.NewCPU(prof)
+				if err != nil {
+					t.Fatal(err)
+				}
+				credit := sched.NewCredit(sched.CreditConfig{})
+				h, err := host.New(host.Config{CPU: cpu, Scheduler: credit, Reference: reference})
+				if err != nil {
+					t.Fatal(err)
+				}
+				v1 := addVM(t, h, 1, "V20", 20, &workload.Hog{})
+				addVM(t, h, 2, "V40", 40, workload.Idle{})
+				mgr, err := core.NewCreditManager(cpu, credit, nil, sim.Second,
+					map[vm.ID]float64{1: 20, 2: 40})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := h.AddAgent(mgr); err != nil {
+					t.Fatal(err)
+				}
+				h.Schedule(7*sim.Second+300, func(sim.Time) { v1.SetWorkload(workload.Idle{}) })
+				h.Schedule(13*sim.Second, func(sim.Time) { v1.SetWorkload(&workload.Hog{}) })
+				return h
+			},
+		},
+	}
+}
+
+// TestBatchedEquivalence runs every scenario through the batching engine
+// and the reference quantum-by-quantum loop and requires identical
+// traces: busy-time-derived series bit-for-bit (scheduling decisions are
+// integer CPU-time bookkeeping), work- and energy-derived series to
+// within float-summation noise (a batched stretch sums its work in one
+// addition instead of thousands).
+func TestBatchedEquivalence(t *testing.T) {
+	const horizon = 30 * sim.Second
+	for _, sc := range equivalenceScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			batched := sc.build(t, false)
+			reference := sc.build(t, true)
+			if err := batched.RunUntil(horizon); err != nil {
+				t.Fatal(err)
+			}
+			if err := reference.RunUntil(horizon); err != nil {
+				t.Fatal(err)
+			}
+			if batched.Engine().BatchedQuanta() == 0 {
+				t.Fatal("batching never engaged; the comparison is vacuous")
+			}
+			if ref := reference.Engine().BatchedQuanta(); ref != 0 {
+				t.Fatalf("reference host batched %d quanta", ref)
+			}
+			t.Logf("batched %d / stepped %d quanta",
+				batched.Engine().BatchedQuanta(), batched.Engine().SteppedQuanta())
+
+			if got, want := batched.CumulativeBusy(), reference.CumulativeBusy(); got != want {
+				t.Errorf("CumulativeBusy: batched %v reference %v", got, want)
+			}
+			for _, v := range reference.VMs() {
+				if got, want := batched.VMBusy(v.ID()), reference.VMBusy(v.ID()); got != want {
+					t.Errorf("VMBusy(%s): batched %v reference %v", v.Name(), got, want)
+				}
+			}
+			relCheck(t, "joules", batched.Energy().Joules(), reference.Energy().Joules())
+			if got, want := batched.GlobalLoad(), reference.GlobalLoad(); got != want {
+				t.Errorf("GlobalLoad: batched %v reference %v", got, want)
+			}
+
+			refSeries := reference.Recorder().Names()
+			gotSeries := batched.Recorder().Names()
+			if len(refSeries) != len(gotSeries) {
+				t.Fatalf("series sets differ: batched %v reference %v", gotSeries, refSeries)
+			}
+			for _, name := range refSeries {
+				want := reference.Recorder().Series(name)
+				got := batched.Recorder().Series(name)
+				if want.Len() != got.Len() {
+					t.Errorf("series %s: %d vs %d points", name, got.Len(), want.Len())
+					continue
+				}
+				exact := !strings.Contains(name, "absolute")
+				for i := range want.T {
+					if got.T[i] != want.T[i] {
+						t.Errorf("series %s[%d]: time %v vs %v", name, i, got.T[i], want.T[i])
+						break
+					}
+					if exact {
+						if got.V[i] != want.V[i] {
+							t.Errorf("series %s[%d]@%v: batched %v reference %v",
+								name, i, got.T[i], got.V[i], want.V[i])
+							break
+						}
+					} else if !relClose(got.V[i], want.V[i]) {
+						t.Errorf("series %s[%d]@%v: batched %v reference %v beyond tolerance",
+							name, i, got.T[i], got.V[i], want.V[i])
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// relClose reports near-equality within float-summation noise.
+func relClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-9*math.Max(scale, 1)
+}
+
+func relCheck(t *testing.T, what string, got, want float64) {
+	t.Helper()
+	if !relClose(got, want) {
+		t.Errorf("%s: batched %v reference %v", what, got, want)
+	}
+}

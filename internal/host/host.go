@@ -10,6 +10,18 @@
 // lets the scheduler pick a VM, executes the VM at the processor's current
 // throughput, charges the scheduler, integrates energy, and drives the
 // governor and any user-level agents.
+//
+// Time itself is owned by the shared simulation engine (internal/engine):
+// the host registers its load meter, user-level agents and recorder
+// sampler as engine actions and implements the engine's Machine interface.
+// When scheduler, governor and workloads can all certify that nothing
+// scheduler-relevant happens inside the offered stretch (see
+// sched.BoundaryReporter, governor.DecisionHorizon, workload.Forecaster),
+// the host executes the whole stretch as one batched step — idle hosts
+// and single-runnable-VM runs cost O(1) per event horizon instead of
+// O(quanta) — and otherwise falls back to the reference quantum-by-quantum
+// semantics. Config.Reference forces the fallback everywhere, which is
+// the baseline the equivalence tests compare batched runs against.
 package host
 
 import (
@@ -17,6 +29,7 @@ import (
 
 	"pasched/internal/cpufreq"
 	"pasched/internal/energy"
+	"pasched/internal/engine"
 	"pasched/internal/governor"
 	"pasched/internal/metrics"
 	"pasched/internal/sched"
@@ -47,6 +60,11 @@ type Config struct {
 	// MeterDepth is the number of successive meter samples averaged;
 	// default 3, the paper's footnote-5 convention.
 	MeterDepth int
+	// Reference disables event-horizon batching: every quantum runs
+	// through the reference step path. Batched and reference runs produce
+	// the same traces; the switch exists for equivalence tests and
+	// debugging.
+	Reference bool
 }
 
 // Agent is a periodic user-level component running on the host, such as
@@ -59,45 +77,56 @@ type Agent interface {
 	Run(now sim.Time)
 }
 
-type agentEntry struct {
-	agent Agent
-	next  sim.Time
+// vmAccount is the per-VM busy/work bookkeeping, slice-backed so the hot
+// quantum path avoids map operations and RemoveVM leaves no stale
+// entries behind.
+type vmAccount struct {
+	busy     sim.Time
+	work     float64
+	prevBusy sim.Time
+	prevWork float64
 }
 
 // Host is the simulated virtualized machine.
 type Host struct {
 	cfg       Config
-	clock     sim.Clock
-	events    sim.Queue
+	eng       *engine.Engine
 	cpu       *cpufreq.CPU
 	scheduler sched.Scheduler
 	gov       governor.Governor
 	vms       []*vm.VM
-	byID      map[vm.ID]*vm.VM
+	acct      []vmAccount // parallel to vms
+	byID      map[vm.ID]int
 
 	cumBusy sim.Time
 	cumWork float64
-	vmBusy  map[vm.ID]sim.Time
-	vmWork  map[vm.ID]float64
 
-	meter     *metrics.DeltaMeter
-	nextMeter sim.Time
+	meter *metrics.DeltaMeter
 
 	rec         *metrics.Recorder
-	nextSample  sim.Time
 	lastSampleT sim.Time
 	prevBusy    sim.Time
 	prevWork    float64
-	prevVMBusy  map[vm.ID]sim.Time
-	prevVMWork  map[vm.ID]float64
 
 	energy *energy.Meter
-	agents []agentEntry
+	agents int
 	maxTp  float64 // throughput at maximum frequency, cached
+
+	// Batching capabilities, resolved once at construction.
+	schedBR      sched.BoundaryReporter
+	schedBatcher sched.Batcher
+	govDH        governor.DecisionHorizon
 }
 
+// machine adapts the host to the engine's Machine interface without
+// exporting the step methods on Host itself.
+type machine struct{ h *Host }
+
+func (m machine) Step(now sim.Time) error                      { return m.h.step(now) }
+func (m machine) BatchStep(now sim.Time, max int) (int, error) { return m.h.batchStep(now, max) }
+
 // New builds a host from the configuration. It validates the configuration
-// and initializes meters, recorder and energy accounting.
+// and initializes the engine, meters, recorder and energy accounting.
 func New(cfg Config) (*Host, error) {
 	if cfg.Scheduler == nil {
 		return nil, fmt.Errorf("host: scheduler is required")
@@ -143,23 +172,40 @@ func New(cfg Config) (*Host, error) {
 	if err != nil {
 		return nil, fmt.Errorf("host: %w", err)
 	}
-	return &Host{
-		cfg:        cfg,
-		cpu:        cpu,
-		scheduler:  cfg.Scheduler,
-		gov:        cfg.Governor,
-		byID:       make(map[vm.ID]*vm.VM),
-		vmBusy:     make(map[vm.ID]sim.Time),
-		vmWork:     make(map[vm.ID]float64),
-		meter:      meter,
-		nextMeter:  cfg.MeterInterval,
-		rec:        metrics.NewRecorder(),
-		nextSample: cfg.SampleInterval,
-		prevVMBusy: make(map[vm.ID]sim.Time),
-		prevVMWork: make(map[vm.ID]float64),
-		energy:     em,
-		maxTp:      maxTp,
-	}, nil
+	h := &Host{
+		cfg:       cfg,
+		cpu:       cpu,
+		scheduler: cfg.Scheduler,
+		gov:       cfg.Governor,
+		byID:      make(map[vm.ID]int),
+		meter:     meter,
+		rec:       metrics.NewRecorder(),
+		energy:    em,
+		maxTp:     maxTp,
+	}
+	h.schedBR, _ = cfg.Scheduler.(sched.BoundaryReporter)
+	h.schedBatcher, _ = cfg.Scheduler.(sched.Batcher)
+	if cfg.Governor != nil {
+		h.govDH, _ = cfg.Governor.(governor.DecisionHorizon)
+	}
+	eng, err := engine.New(cfg.Quantum, machine{h})
+	if err != nil {
+		return nil, fmt.Errorf("host: %w", err)
+	}
+	h.eng = eng
+	if err := eng.AddAction("meter", cfg.MeterInterval, engine.OrderMeter, func(now sim.Time) error {
+		h.meter.Sample(now, h.cumBusy)
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("host: %w", err)
+	}
+	if err := eng.AddAction("sample", cfg.SampleInterval, engine.OrderSampler, func(now sim.Time) error {
+		h.sample(now)
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("host: %w", err)
+	}
+	return h, nil
 }
 
 // AddVM registers a VM with the host and its scheduler.
@@ -173,32 +219,44 @@ func (h *Host) AddVM(v *vm.VM) error {
 	if err := h.scheduler.Add(v); err != nil {
 		return fmt.Errorf("host: %w", err)
 	}
-	h.byID[v.ID()] = v
+	h.byID[v.ID()] = len(h.vms)
 	h.vms = append(h.vms, v)
+	h.acct = append(h.acct, vmAccount{})
 	return nil
 }
 
 // RemoveVM unregisters a VM (shutdown or migration away) from the host and
-// its scheduler. Its accounting series stop advancing but remain recorded.
+// its scheduler. Its accounting entries are dropped with it — already
+// recorded series stay in the recorder, but no per-VM state lingers.
 func (h *Host) RemoveVM(id vm.ID) error {
-	if _, ok := h.byID[id]; !ok {
+	idx, ok := h.byID[id]
+	if !ok {
 		return fmt.Errorf("host: unknown VM id %d", id)
 	}
 	if err := h.scheduler.Remove(id); err != nil {
 		return fmt.Errorf("host: %w", err)
 	}
 	delete(h.byID, id)
-	for i, v := range h.vms {
-		if v.ID() == id {
-			h.vms = append(h.vms[:i], h.vms[i+1:]...)
-			break
+	copy(h.vms[idx:], h.vms[idx+1:])
+	h.vms[len(h.vms)-1] = nil // drop the trailing pointer so the VM can be collected
+	h.vms = h.vms[:len(h.vms)-1]
+	h.acct = append(h.acct[:idx], h.acct[idx+1:]...)
+	for vid, i := range h.byID {
+		if i > idx {
+			h.byID[vid] = i - 1
 		}
 	}
 	return nil
 }
 
 // VM returns the VM with the given id, or nil.
-func (h *Host) VM(id vm.ID) *vm.VM { return h.byID[id] }
+func (h *Host) VM(id vm.ID) *vm.VM {
+	idx, ok := h.byID[id]
+	if !ok {
+		return nil
+	}
+	return h.vms[idx]
+}
 
 // VMs returns the host's VMs in registration order.
 func (h *Host) VMs() []*vm.VM {
@@ -219,8 +277,12 @@ func (h *Host) Recorder() *metrics.Recorder { return h.rec }
 // Energy returns the host's energy meter.
 func (h *Host) Energy() *energy.Meter { return h.energy }
 
+// Engine returns the host's simulation engine (for introspection: batched
+// versus stepped quanta counts).
+func (h *Host) Engine() *engine.Engine { return h.eng }
+
 // Now returns the current simulated time.
-func (h *Host) Now() sim.Time { return h.clock.Now() }
+func (h *Host) Now() sim.Time { return h.eng.Now() }
 
 // GlobalLoad returns the averaged recent processor utilization in [0,1],
 // the paper's Global load signal (average of three successive utilization
@@ -234,13 +296,20 @@ func (h *Host) CumulativeBusy() sim.Time { return h.cumBusy }
 // CumulativeWork returns the total executed work so far, in work units.
 func (h *Host) CumulativeWork() float64 { return h.cumWork }
 
-// VMBusy returns the total busy CPU time granted to the VM so far.
-func (h *Host) VMBusy(id vm.ID) sim.Time { return h.vmBusy[id] }
+// VMBusy returns the total busy CPU time granted to the VM so far, or 0
+// after the VM was removed.
+func (h *Host) VMBusy(id vm.ID) sim.Time {
+	idx, ok := h.byID[id]
+	if !ok {
+		return 0
+	}
+	return h.acct[idx].busy
+}
 
 // Schedule enqueues fn to run at simulated time at (e.g. a workload swap
 // or a VM pause).
 func (h *Host) Schedule(at sim.Time, fn func(now sim.Time)) {
-	h.events.Schedule(at, fn)
+	h.eng.Schedule(at, fn)
 }
 
 // AddAgent registers a periodic agent. The agent first runs one interval
@@ -252,31 +321,31 @@ func (h *Host) AddAgent(a Agent) error {
 	if a.Interval() <= 0 {
 		return fmt.Errorf("host: agent interval must be positive, got %v", a.Interval())
 	}
-	h.agents = append(h.agents, agentEntry{agent: a, next: h.clock.Now() + a.Interval()})
+	h.agents++
+	name := fmt.Sprintf("agent-%d", h.agents)
+	if err := h.eng.AddAction(name, a.Interval(), engine.OrderAgents, func(now sim.Time) error {
+		a.Run(now)
+		return nil
+	}); err != nil {
+		return fmt.Errorf("host: %w", err)
+	}
 	return nil
 }
 
 // Run advances the simulation by d.
 func (h *Host) Run(d sim.Time) error {
-	return h.RunUntil(h.clock.Now() + d)
+	return h.eng.Run(d)
 }
 
 // RunUntil advances the simulation until simulated time t.
 func (h *Host) RunUntil(t sim.Time) error {
-	for h.clock.Now() < t {
-		if err := h.step(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return h.eng.RunUntil(t)
 }
 
-// step executes one scheduling quantum.
-func (h *Host) step() error {
-	now := h.clock.Now()
-	if _, err := h.events.RunDue(now); err != nil {
-		return fmt.Errorf("host: %w", err)
-	}
+// step executes one scheduling quantum with reference semantics. The
+// engine has already fired due events; it advances the clock and fires
+// meter/agent/sampler boundaries afterwards.
+func (h *Host) step(now sim.Time) error {
 	for _, v := range h.vms {
 		v.Tick(now)
 	}
@@ -299,9 +368,11 @@ func (h *Host) step() error {
 			picked.AddCPUTime(busy)
 			h.scheduler.Charge(picked, busy, end)
 			h.cumBusy += busy
-			h.vmBusy[picked.ID()] += busy
 			h.cumWork += done
-			h.vmWork[picked.ID()] += done
+			if idx := sched.IndexOf(h.vms, picked); idx >= 0 {
+				h.acct[idx].busy += busy
+				h.acct[idx].work += done
+			}
 			util = frac
 		}
 	}
@@ -310,10 +381,6 @@ func (h *Host) step() error {
 	}
 	h.scheduler.Tick(end)
 
-	for end >= h.nextMeter {
-		h.meter.Sample(h.nextMeter, h.cumBusy)
-		h.nextMeter += h.cfg.MeterInterval
-	}
 	if h.gov != nil {
 		st := governor.Stats{
 			Now:     end,
@@ -328,17 +395,162 @@ func (h *Host) step() error {
 			}
 		}
 	}
-	for i := range h.agents {
-		for end >= h.agents[i].next {
-			h.agents[i].agent.Run(h.agents[i].next)
-			h.agents[i].next += h.agents[i].agent.Interval()
+	return nil
+}
+
+// quantaCovering returns ceil(d/quantum), the number of quanta after
+// which a boundary at distance d is handled.
+func (h *Host) quantaCovering(d sim.Time) int {
+	return engine.QuantaCovering(d, h.cfg.Quantum)
+}
+
+// quantaBefore returns the number of whole quanta that fit strictly
+// before a boundary at distance d, so that no covered quantum end reaches
+// it: the quantum containing the boundary always runs through the
+// reference path.
+func (h *Host) quantaBefore(d sim.Time) int {
+	return h.quantaCovering(d) - 1
+}
+
+// batchStep executes up to max quanta starting at now as one batched
+// step when the stretch ahead is provably uniform: no scheduler
+// accounting boundary, no possible governor decision, no frequency
+// transition completion, no workload arrival or phase change, and either
+// an idle processor or a single runnable VM that the scheduler certifies
+// it would run for every quantum. It returns 0 whenever any of those
+// certifications is unavailable, and the engine falls back to the
+// reference step.
+func (h *Host) batchStep(now sim.Time, max int) (int, error) {
+	if h.cfg.Reference || h.schedBR == nil || (h.gov != nil && h.govDH == nil) {
+		return 0, nil
+	}
+	// Cheapest disqualifier first: more than one runnable VM means the
+	// scheduler interleaves picks, which only the reference path models.
+	var single *vm.VM
+	runnable := 0
+	for _, v := range h.vms {
+		if v.Runnable() {
+			if runnable++; runnable > 1 {
+				return 0, nil
+			}
+			single = v
 		}
 	}
-	for end >= h.nextSample {
-		h.sample(h.nextSample)
-		h.nextSample += h.cfg.SampleInterval
+	n := max
+	if b := h.schedBR.NextBoundary(now); b != sim.Never {
+		if b <= now {
+			return 0, nil
+		}
+		if k := h.quantaBefore(b - now); k < n {
+			n = k
+		}
 	}
-	return h.clock.Advance(h.cfg.Quantum)
+	if n < 2 {
+		return 0, nil
+	}
+	// Completing a due frequency transition first (as the reference step
+	// would at this quantum start) both matches reference semantics and
+	// clears the way for batching the stretch behind it.
+	h.cpu.Advance(now)
+	if _, at, pending := h.cpu.PendingSwitch(); pending {
+		if k := h.quantaCovering(at - now); k < n {
+			n = k
+		}
+	}
+	if h.govDH != nil {
+		st := governor.Stats{
+			Now:     now,
+			CumBusy: h.cumBusy,
+			CumWork: h.cumWork,
+			Cur:     h.cpu.Freq(),
+			Prof:    h.cpu.Profile(),
+		}
+		if d := h.govDH.NextDecision(st); d != sim.Never {
+			if d <= now {
+				return 0, nil
+			}
+			if k := h.quantaBefore(d - now); k < n {
+				n = k
+			}
+		}
+	}
+	if n < 2 {
+		return 0, nil
+	}
+	for _, v := range h.vms {
+		nc, ok := v.NextChange(now)
+		if !ok {
+			return 0, nil
+		}
+		if nc != sim.Never {
+			if nc <= now {
+				return 0, nil
+			}
+			if k := h.quantaCovering(nc - now); k < n {
+				n = k
+			}
+		}
+	}
+	if n < 2 {
+		return 0, nil
+	}
+	q := h.cfg.Quantum
+	freq := h.cpu.Freq()
+	if runnable == 0 {
+		d := sim.Time(n) * q
+		if err := h.energy.Add(d, freq, 0); err != nil {
+			return 0, fmt.Errorf("host: %w", err)
+		}
+		return n, nil
+	}
+	if h.schedBatcher == nil {
+		return 0, nil
+	}
+	picks, idle := h.schedBatcher.BatchPick(single, q, n, now)
+	// A 0/1 answer falls back to the reference step; any pick state the
+	// scheduler committed is idempotent with re-picking the same sole
+	// runnable VM.
+	if idle {
+		if picks < 2 {
+			return 0, nil
+		}
+		d := sim.Time(picks) * q
+		if err := h.energy.Add(d, freq, 0); err != nil {
+			return 0, fmt.Errorf("host: %w", err)
+		}
+		return picks, nil
+	}
+	if picks < n {
+		n = picks
+	}
+	capWork := h.cpu.Throughput() * q.Seconds()
+	if capWork <= 0 {
+		return 0, nil
+	}
+	// Keep strictly below the pending work so every batched quantum
+	// consumes a full capWork and the VM stays runnable at every covered
+	// pick; the draining tail runs through the reference path.
+	if avail := int(single.Workload().Pending()/capWork) - 1; avail < n {
+		n = avail
+	}
+	if n < 2 {
+		return 0, nil
+	}
+	d := sim.Time(n) * q
+	end := now + d
+	done := single.Consume(capWork*float64(n), end)
+	single.AddCPUTime(d)
+	h.scheduler.Charge(single, d, end)
+	h.cumBusy += d
+	h.cumWork += done
+	if idx := sched.IndexOf(h.vms, single); idx >= 0 {
+		h.acct[idx].busy += d
+		h.acct[idx].work += done
+	}
+	if err := h.energy.Add(d, freq, 1); err != nil {
+		return 0, fmt.Errorf("host: %w", err)
+	}
+	return n, nil
 }
 
 // capReader returns the function used to read per-VM caps for the traces:
@@ -371,23 +583,23 @@ func (h *Host) sample(now sim.Time) {
 	h.rec.Series("absolute_load_pct").Add(t, absPct)
 
 	capOf := h.capReader()
-	for _, v := range h.vms {
-		id := v.ID()
+	for i, v := range h.vms {
+		acct := &h.acct[i]
 		name := v.Name()
-		gl := float64(h.vmBusy[id]-h.prevVMBusy[id]) / dt * 100
+		gl := float64(acct.busy-acct.prevBusy) / dt * 100
 		h.rec.Series(name+"_global_pct").Add(t, gl)
-		ab := (h.vmWork[id] - h.prevVMWork[id]) / (h.maxTp * dtSec) * 100
+		ab := (acct.work - acct.prevWork) / (h.maxTp * dtSec) * 100
 		h.rec.Series(name+"_absolute_pct").Add(t, ab)
 		if v.Credit() > 0 {
 			h.rec.Series(name+"_vmload_pct").Add(t, gl/v.Credit()*100)
 		}
 		if capOf != nil {
-			if cap, err := capOf(id); err == nil {
-				h.rec.Series(name+"_cap_pct").Add(t, cap)
+			if capPct, err := capOf(v.ID()); err == nil {
+				h.rec.Series(name+"_cap_pct").Add(t, capPct)
 			}
 		}
-		h.prevVMBusy[id] = h.vmBusy[id]
-		h.prevVMWork[id] = h.vmWork[id]
+		acct.prevBusy = acct.busy
+		acct.prevWork = acct.work
 	}
 	h.prevBusy = h.cumBusy
 	h.prevWork = h.cumWork

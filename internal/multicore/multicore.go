@@ -25,6 +25,7 @@ import (
 
 	"pasched/internal/core"
 	"pasched/internal/cpufreq"
+	"pasched/internal/engine"
 	"pasched/internal/host"
 	"pasched/internal/sched"
 	"pasched/internal/sim"
@@ -70,6 +71,12 @@ type Config struct {
 	SettleSteps int
 	// CapacityMargin is the PAS capacity margin; default 0.02.
 	CapacityMargin float64
+	// Workers bounds how many cores step concurrently between
+	// coordination barriers. Cores are fully independent hosts (own
+	// engine, scheduler, meters), so the result is identical for any
+	// worker count. Zero selects GOMAXPROCS; 1 forces sequential
+	// stepping.
+	Workers int
 }
 
 // coreState is one core: a single-core host plus coordination state.
@@ -122,6 +129,12 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.CapacityMargin < 0 {
 		return nil, fmt.Errorf("multicore: negative capacity margin %v", cfg.CapacityMargin)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = engine.DefaultWorkers()
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("multicore: negative worker count %d", cfg.Workers)
 	}
 	c := &Cluster{cfg: cfg, cf: cfg.Profile.EfficiencyTable()}
 	for i := 0; i < cfg.Cores; i++ {
@@ -189,17 +202,28 @@ func (c *Cluster) TotalJoules() float64 {
 }
 
 // Run advances the whole cluster by d, coordinating DVFS at every step.
+// Between coordination barriers the cores are independent machines, so
+// they step concurrently on the engine's worker pool; the PAS
+// coordination itself runs sequentially at the barrier.
 func (c *Cluster) Run(d sim.Time) error {
 	target := c.now + d
+	tasks := make([]func() error, len(c.cores))
 	for c.now < target {
 		next := c.now + c.cfg.Step
 		if next > target {
 			next = target
 		}
 		for i, cs := range c.cores {
-			if err := cs.host.RunUntil(next); err != nil {
-				return fmt.Errorf("multicore: core %d: %w", i, err)
+			i, cs := i, cs
+			tasks[i] = func() error {
+				if err := cs.host.RunUntil(next); err != nil {
+					return fmt.Errorf("multicore: core %d: %w", i, err)
+				}
+				return nil
 			}
+		}
+		if err := engine.RunParallel(c.cfg.Workers, tasks); err != nil {
+			return err
 		}
 		c.now = next
 		c.step++

@@ -23,18 +23,24 @@ type CreditConfig struct {
 	WorkConserving bool
 }
 
+// creditState is the per-VM accounting, slice-backed (parallel to vms) so
+// the per-quantum Pick/Charge path involves no map operations.
+type creditState struct {
+	cap    float64 // current cap percentage; 0 = uncapped
+	budget float64 // microseconds left in the current period
+	used   float64 // microseconds consumed in the current period
+}
+
 // Credit is the Xen Credit scheduler model: proportional share with hard
 // caps. With a cap equal to its credit, a VM behaves exactly as the paper's
 // "fix credit scheduler": its credit is always guaranteed but never
 // exceeded. A VM created with zero credit has no cap and consumes only
 // slices no budgeted VM wants (the paper's "null credit" special case).
 type Credit struct {
-	cfg    CreditConfig
-	vms    []*vm.VM
-	known  map[vm.ID]bool
-	caps   map[vm.ID]float64 // current cap percentage; 0 = uncapped
-	budget map[vm.ID]float64 // microseconds left in the current period
-	used   map[vm.ID]float64 // microseconds consumed in the current period
+	cfg  CreditConfig
+	vms  []*vm.VM
+	st   []creditState // parallel to vms
+	byID map[vm.ID]int
 
 	rrBudget   rrQueue
 	rrUncapped rrQueue
@@ -43,8 +49,10 @@ type Credit struct {
 }
 
 var (
-	_ Scheduler = (*Credit)(nil)
-	_ CapSetter = (*Credit)(nil)
+	_ Scheduler        = (*Credit)(nil)
+	_ CapSetter        = (*Credit)(nil)
+	_ BoundaryReporter = (*Credit)(nil)
+	_ Batcher          = (*Credit)(nil)
 )
 
 // NewCredit returns a Credit scheduler with the given configuration.
@@ -54,10 +62,7 @@ func NewCredit(cfg CreditConfig) *Credit {
 	}
 	return &Credit{
 		cfg:        cfg,
-		known:      make(map[vm.ID]bool),
-		caps:       make(map[vm.ID]float64),
-		budget:     make(map[vm.ID]float64),
-		used:       make(map[vm.ID]float64),
+		byID:       make(map[vm.ID]int),
 		nextRefill: cfg.Period,
 	}
 }
@@ -66,28 +71,28 @@ func NewCredit(cfg CreditConfig) *Credit {
 func (c *Credit) Name() string { return "credit" }
 
 // Add implements Scheduler. The VM's cap is initialized to its configured
-// credit.
+// credit and its budget to one period's refill.
 func (c *Credit) Add(v *vm.VM) error {
-	if err := validateAdd(c.known, v); err != nil {
+	if err := checkAdd(c.byID, v); err != nil {
 		return err
 	}
-	c.known[v.ID()] = true
+	c.byID[v.ID()] = len(c.vms)
 	c.vms = append(c.vms, v)
-	c.caps[v.ID()] = v.Credit()
-	c.budget[v.ID()] = c.refillFor(v.ID())
+	c.st = append(c.st, creditState{cap: v.Credit()})
+	c.st[len(c.st)-1].budget = c.refillFor(len(c.st) - 1)
 	return nil
 }
 
 // Remove implements Scheduler.
 func (c *Credit) Remove(id vm.ID) error {
-	if !c.known[id] {
+	idx, ok := c.byID[id]
+	if !ok {
 		return fmt.Errorf("%w: id %d", ErrUnknownVM, id)
 	}
-	delete(c.known, id)
-	delete(c.caps, id)
-	delete(c.budget, id)
-	delete(c.used, id)
-	c.vms = removeVM(c.vms, id)
+	delete(c.byID, id)
+	c.vms = spliceVM(c.vms, idx)
+	c.st = spliceState(c.st, idx)
+	reindexAfterRemove(c.byID, idx)
 	return nil
 }
 
@@ -99,8 +104,8 @@ func (c *Credit) VMs() []*vm.VM {
 }
 
 // refillFor returns one period's budget for the VM in microseconds.
-func (c *Credit) refillFor(id vm.ID) float64 {
-	return c.caps[id] / 100 * float64(c.cfg.Period)
+func (c *Credit) refillFor(idx int) float64 {
+	return c.st[idx].cap / 100 * float64(c.cfg.Period)
 }
 
 // Pick implements Scheduler. Selection order:
@@ -119,7 +124,7 @@ func (c *Credit) Pick(now sim.Time) *vm.VM {
 		if !v.Runnable() {
 			continue
 		}
-		if c.caps[v.ID()] <= 0 || c.budget[v.ID()] <= 0 {
+		if c.st[i].cap <= 0 || c.st[i].budget <= 0 {
 			continue
 		}
 		if best == -1 || v.Priority() > bestPrio {
@@ -131,7 +136,7 @@ func (c *Credit) Pick(now sim.Time) *vm.VM {
 		i := c.rrBudget.next(len(c.vms), func(i int) bool {
 			v := c.vms[i]
 			return v.Runnable() && v.Priority() == bestPrio &&
-				c.caps[v.ID()] > 0 && c.budget[v.ID()] > 0
+				c.st[i].cap > 0 && c.st[i].budget > 0
 		})
 		if i >= 0 {
 			return c.vms[i]
@@ -139,8 +144,7 @@ func (c *Credit) Pick(now sim.Time) *vm.VM {
 	}
 	// Pass 2: uncapped VMs.
 	if i := c.rrUncapped.next(len(c.vms), func(i int) bool {
-		v := c.vms[i]
-		return v.Runnable() && c.caps[v.ID()] <= 0
+		return c.vms[i].Runnable() && c.st[i].cap <= 0
 	}); i >= 0 {
 		return c.vms[i]
 	}
@@ -157,11 +161,15 @@ func (c *Credit) Pick(now sim.Time) *vm.VM {
 
 // Charge implements Scheduler.
 func (c *Credit) Charge(v *vm.VM, busy sim.Time, _ sim.Time) {
-	if v == nil || busy <= 0 || !c.known[v.ID()] {
+	if v == nil || busy <= 0 {
 		return
 	}
-	c.budget[v.ID()] -= float64(busy)
-	c.used[v.ID()] += float64(busy)
+	idx := IndexOf(c.vms, v)
+	if idx < 0 {
+		return
+	}
+	c.st[idx].budget -= float64(busy)
+	c.st[idx].used += float64(busy)
 }
 
 // Tick implements Scheduler: it refills budgets at period boundaries.
@@ -173,20 +181,59 @@ func (c *Credit) Charge(v *vm.VM, busy sim.Time, _ sim.Time) {
 // a work-conserving overflow cannot starve a VM indefinitely.
 func (c *Credit) Tick(now sim.Time) {
 	for c.nextRefill <= now {
-		for id := range c.caps {
-			refill := c.refillFor(id)
-			b := c.budget[id] + refill
+		for i := range c.st {
+			refill := c.refillFor(i)
+			b := c.st[i].budget + refill
 			if b > refill {
 				b = refill
 			}
 			if b < -refill {
 				b = -refill
 			}
-			c.budget[id] = b
-			c.used[id] = 0
+			c.st[i].budget = b
+			c.st[i].used = 0
 		}
 		c.nextRefill += c.cfg.Period
 	}
+}
+
+// NextBoundary implements BoundaryReporter: the next budget refill.
+func (c *Credit) NextBoundary(sim.Time) sim.Time { return c.nextRefill }
+
+// BatchPick implements Batcher. With v the only runnable VM, Pick keeps
+// selecting it while its budget lasts (or forever when it is uncapped or
+// the scheduler is work-conserving); the quanta count is floored so a
+// batched run never outlasts what quantum-by-quantum picking would grant.
+// A capped VM that exhausted its budget idles until the next refill,
+// which NextBoundary keeps outside the offered stretch.
+func (c *Credit) BatchPick(v *vm.VM, quantum sim.Time, max int, _ sim.Time) (int, bool) {
+	if v == nil || max <= 0 || quantum <= 0 || !v.Runnable() {
+		return 0, false
+	}
+	idx := IndexOf(c.vms, v)
+	if idx < 0 {
+		return 0, false
+	}
+	if c.st[idx].cap <= 0 {
+		c.rrUncapped.last = idx
+		return max, false
+	}
+	if b := c.st[idx].budget; b > 0 {
+		n := int(b / float64(quantum))
+		if n > max {
+			n = max
+		}
+		if n < 1 {
+			return 0, false
+		}
+		c.rrBudget.last = idx
+		return n, false
+	}
+	if c.cfg.WorkConserving {
+		c.rrOverflow.last = idx
+		return max, false
+	}
+	return max, true
 }
 
 // SetCap implements CapSetter. Raising or lowering a cap mid-period adjusts
@@ -194,34 +241,37 @@ func (c *Credit) Tick(now sim.Time) {
 // allocation takes effect immediately (the in-scheduler PAS variant relies
 // on this reactivity).
 func (c *Credit) SetCap(id vm.ID, pct float64) error {
-	if !c.known[id] {
+	idx, ok := c.byID[id]
+	if !ok {
 		return fmt.Errorf("%w: id %d", ErrUnknownVM, id)
 	}
 	if pct < 0 {
 		return fmt.Errorf("sched: negative cap %v for VM %d", pct, id)
 	}
-	old := c.caps[id]
-	c.caps[id] = pct
+	old := c.st[idx].cap
+	c.st[idx].cap = pct
 	delta := (pct - old) / 100 * float64(c.cfg.Period)
-	c.budget[id] += delta
+	c.st[idx].budget += delta
 	return nil
 }
 
 // Cap implements CapSetter.
 func (c *Credit) Cap(id vm.ID) (float64, error) {
-	if !c.known[id] {
+	idx, ok := c.byID[id]
+	if !ok {
 		return 0, fmt.Errorf("%w: id %d", ErrUnknownVM, id)
 	}
-	return c.caps[id], nil
+	return c.st[idx].cap, nil
 }
 
 // Budget returns the VM's remaining budget in this accounting period, in
 // microseconds of CPU time. It is exposed for tests and introspection.
 func (c *Credit) Budget(id vm.ID) (float64, error) {
-	if !c.known[id] {
+	idx, ok := c.byID[id]
+	if !ok {
 		return 0, fmt.Errorf("%w: id %d", ErrUnknownVM, id)
 	}
-	return c.budget[id], nil
+	return c.st[idx].budget, nil
 }
 
 // Period returns the accounting period.

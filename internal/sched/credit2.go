@@ -17,23 +17,30 @@ import (
 // scaled runtime runs next, which converges to weight-proportional sharing
 // under contention.
 type Credit2 struct {
-	vms      []*vm.VM
-	known    map[vm.ID]bool
-	vruntime map[vm.ID]float64 // microseconds scaled by 1/weight
-	weights  map[vm.ID]float64
-	maxLag   float64 // wake-up clamp, in scaled microseconds
-	vclock   float64 // vruntime of the most recently picked VM
+	vms    []*vm.VM
+	st     []credit2State // parallel to vms
+	byID   map[vm.ID]int
+	maxLag float64 // wake-up clamp, in scaled microseconds
+	vclock float64 // vruntime of the most recently picked VM
 }
 
-var _ Scheduler = (*Credit2)(nil)
+// credit2State is the per-VM state, slice-backed so the per-quantum
+// Pick/Charge path involves no map operations.
+type credit2State struct {
+	vruntime float64 // microseconds scaled by 1/weight
+	weight   float64
+}
+
+var (
+	_ Scheduler        = (*Credit2)(nil)
+	_ BoundaryReporter = (*Credit2)(nil)
+)
 
 // NewCredit2 returns a Credit2 scheduler.
 func NewCredit2() *Credit2 {
 	return &Credit2{
-		known:    make(map[vm.ID]bool),
-		vruntime: make(map[vm.ID]float64),
-		weights:  make(map[vm.ID]float64),
-		maxLag:   float64(DefaultCreditPeriod),
+		byID:   make(map[vm.ID]int),
+		maxLag: float64(DefaultCreditPeriod),
 	}
 }
 
@@ -43,25 +50,28 @@ func (c *Credit2) Name() string { return "credit2" }
 // Add implements Scheduler. The VM's weight derives from its configuration
 // (its credit when no explicit weight is set).
 func (c *Credit2) Add(v *vm.VM) error {
-	if err := validateAdd(c.known, v); err != nil {
+	if err := checkAdd(c.byID, v); err != nil {
 		return err
 	}
-	c.known[v.ID()] = true
+	c.byID[v.ID()] = len(c.vms)
 	c.vms = append(c.vms, v)
-	c.weights[v.ID()] = float64(v.Config().EffectiveWeight())
-	c.vruntime[v.ID()] = c.vclock
+	c.st = append(c.st, credit2State{
+		vruntime: c.vclock,
+		weight:   float64(v.Config().EffectiveWeight()),
+	})
 	return nil
 }
 
 // Remove implements Scheduler.
 func (c *Credit2) Remove(id vm.ID) error {
-	if !c.known[id] {
+	idx, ok := c.byID[id]
+	if !ok {
 		return fmt.Errorf("%w: id %d", ErrUnknownVM, id)
 	}
-	delete(c.known, id)
-	delete(c.vruntime, id)
-	delete(c.weights, id)
-	c.vms = removeVM(c.vms, id)
+	delete(c.byID, id)
+	c.vms = spliceVM(c.vms, idx)
+	c.st = spliceState(c.st, idx)
+	reindexAfterRemove(c.byID, idx)
 	return nil
 }
 
@@ -78,14 +88,14 @@ func (c *Credit2) VMs() []*vm.VM {
 func (c *Credit2) Pick(_ sim.Time) *vm.VM {
 	var best *vm.VM
 	bestVR := 0.0
-	for _, v := range c.vms {
+	for i, v := range c.vms {
 		if !v.Runnable() {
 			continue
 		}
-		vr := c.vruntime[v.ID()]
+		vr := c.st[i].vruntime
 		if vr < c.vclock-c.maxLag {
 			vr = c.vclock - c.maxLag
-			c.vruntime[v.ID()] = vr
+			c.st[i].vruntime = vr
 		}
 		if best == nil || vr < bestVR {
 			best = v
@@ -100,23 +110,34 @@ func (c *Credit2) Pick(_ sim.Time) *vm.VM {
 
 // Charge implements Scheduler.
 func (c *Credit2) Charge(v *vm.VM, busy sim.Time, _ sim.Time) {
-	if v == nil || busy <= 0 || !c.known[v.ID()] {
+	if v == nil || busy <= 0 {
 		return
 	}
-	w := c.weights[v.ID()]
+	i := IndexOf(c.vms, v)
+	if i < 0 {
+		return
+	}
+	w := c.st[i].weight
 	if w <= 0 {
 		w = 1
 	}
-	c.vruntime[v.ID()] += float64(busy) / w
+	c.st[i].vruntime += float64(busy) / w
 }
 
 // Tick implements Scheduler. Credit2 needs no periodic accounting.
 func (c *Credit2) Tick(sim.Time) {}
 
+// NextBoundary implements BoundaryReporter: virtual-runtime scheduling
+// has no periodic accounting, so idle stretches batch freely. Busy
+// stretches still run quantum by quantum (Credit2 does not implement
+// Batcher) because the vclock advances with every pick.
+func (c *Credit2) NextBoundary(sim.Time) sim.Time { return sim.Never }
+
 // Weight returns the VM's proportional-share weight.
 func (c *Credit2) Weight(id vm.ID) (float64, error) {
-	if !c.known[id] {
+	idx, ok := c.byID[id]
+	if !ok {
 		return 0, fmt.Errorf("%w: id %d", ErrUnknownVM, id)
 	}
-	return c.weights[id], nil
+	return c.st[idx].weight, nil
 }

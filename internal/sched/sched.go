@@ -60,6 +60,44 @@ type Scheduler interface {
 	Tick(now sim.Time)
 }
 
+// BoundaryReporter is implemented by schedulers that can report their next
+// accounting boundary (credit refill, deadline rollover, PAS
+// recomputation) — the next instant at which Tick does real work or Pick
+// decisions can change for scheduler-internal reasons. The simulation
+// engine stops batched steps strictly before the boundary, so the quantum
+// containing it always runs with reference semantics. Schedulers without
+// this interface are never batched.
+type BoundaryReporter interface {
+	// NextBoundary returns the scheduler's next accounting boundary after
+	// now, or sim.Never when there is none.
+	NextBoundary(now sim.Time) sim.Time
+}
+
+// Batcher is implemented by schedulers that can collapse a uniform run of
+// scheduling quanta into one batched step. The engine calls it only when
+// v is the only runnable VM and no scheduler boundary (NextBoundary) lies
+// inside the stretch.
+type Batcher interface {
+	// BatchPick certifies a uniform stretch of up to max quanta starting
+	// at now, assuming v stays the only runnable VM. It returns either
+	//
+	//   - (n, false): Pick would select v for each of the next n quanta
+	//     and v would consume one full quantum each time. The return
+	//     commits the scheduler's internal pick state (round-robin
+	//     cursors) exactly as the Pick calls would have; the caller still
+	//     reports the consumed time through one Charge call, and may use
+	//     fewer than n quanta (the commitment does not depend on n).
+	//   - (n, true): Pick would return nil for each of the next n quanta
+	//     — v is runnable but not serviceable (budget exhausted under a
+	//     hard cap, slice exhausted without extratime) — so the
+	//     processor idles.
+	//   - (0, false): the run cannot be batched; the caller must fall
+	//     back to the reference Pick/Charge/Tick cycle, which remains
+	//     correct after any committed state because re-picking the same
+	//     sole runnable VM is idempotent.
+	BatchPick(v *vm.VM, quantum sim.Time, max int, now sim.Time) (int, bool)
+}
+
 // CapSetter is implemented by schedulers whose per-VM CPU allocation can be
 // adjusted at run time. The PAS scheduler uses it to enforce the
 // recomputed, frequency-compensated credits (Listing 1.2 of the paper).
@@ -79,6 +117,53 @@ type CapSetter interface {
 type EffectiveCapper interface {
 	// EffectiveCap returns the momentary enforced cap percentage.
 	EffectiveCap(id vm.ID) (float64, error)
+}
+
+// checkAdd performs the common Add registration checks.
+func checkAdd(byID map[vm.ID]int, v *vm.VM) error {
+	if v == nil {
+		return fmt.Errorf("sched: add nil VM")
+	}
+	if _, dup := byID[v.ID()]; dup {
+		return fmt.Errorf("%w: id %d", ErrDuplicateVM, v.ID())
+	}
+	return nil
+}
+
+// spliceVM removes index idx from vms, preserving order and nil-ing the
+// trailing duplicate pointer so the removed VM can be collected.
+func spliceVM(vms []*vm.VM, idx int) []*vm.VM {
+	copy(vms[idx:], vms[idx+1:])
+	vms[len(vms)-1] = nil
+	return vms[:len(vms)-1]
+}
+
+// spliceState removes index idx from a per-VM state slice.
+func spliceState[T any](st []T, idx int) []T {
+	return append(st[:idx], st[idx+1:]...)
+}
+
+// reindexAfterRemove shifts the id→index registry down past a removed
+// slice index.
+func reindexAfterRemove(byID map[vm.ID]int, idx int) {
+	for id, i := range byID {
+		if i > idx {
+			byID[id] = i - 1
+		}
+	}
+}
+
+// IndexOf returns the slice index of v by identity, -1 if absent. The
+// linear scan beats a map lookup for the handful of VMs a host carries,
+// which is why the per-quantum paths (schedulers and the host alike)
+// use it.
+func IndexOf(vms []*vm.VM, v *vm.VM) int {
+	for i, u := range vms {
+		if u == v {
+			return i
+		}
+	}
+	return -1
 }
 
 // rrQueue is a tiny round-robin helper: it remembers the last VM served and
@@ -102,30 +187,4 @@ func (q *rrQueue) next(n int, ok func(i int) bool) int {
 		}
 	}
 	return -1
-}
-
-// validateAdd performs the common Add checks and returns the VM's index key.
-func validateAdd(existing map[vm.ID]bool, v *vm.VM) error {
-	if v == nil {
-		return fmt.Errorf("sched: add nil VM")
-	}
-	if existing[v.ID()] {
-		return fmt.Errorf("%w: id %d", ErrDuplicateVM, v.ID())
-	}
-	return nil
-}
-
-// removeVM returns vms without the VM carrying id, preserving order.
-func removeVM(vms []*vm.VM, id vm.ID) []*vm.VM {
-	out := vms[:0]
-	for _, v := range vms {
-		if v.ID() != id {
-			out = append(out, v)
-		}
-	}
-	// Drop the trailing duplicate pointer so it can be collected.
-	if len(out) < len(vms) {
-		vms[len(vms)-1] = nil
-	}
-	return out
 }

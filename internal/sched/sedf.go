@@ -43,7 +43,8 @@ type SEDFConfig struct {
 }
 
 // sedfState is the per-VM runtime state: the current deadline and the CPU
-// time still owed within the current period.
+// time still owed within the current period. It is slice-backed (parallel
+// to vms) so the per-quantum Pick/Charge path involves no map operations.
 type sedfState struct {
 	params    SEDFParams
 	deadline  sim.Time
@@ -58,14 +59,16 @@ type sedfState struct {
 type SEDF struct {
 	cfg     SEDFConfig
 	vms     []*vm.VM
-	known   map[vm.ID]bool
-	state   map[vm.ID]*sedfState
+	st      []sedfState // parallel to vms
+	byID    map[vm.ID]int
 	rrExtra rrQueue
 }
 
 var (
-	_ Scheduler = (*SEDF)(nil)
-	_ CapSetter = (*SEDF)(nil)
+	_ Scheduler        = (*SEDF)(nil)
+	_ CapSetter        = (*SEDF)(nil)
+	_ BoundaryReporter = (*SEDF)(nil)
+	_ Batcher          = (*SEDF)(nil)
 )
 
 // NewSEDF returns an SEDF scheduler with the given configuration.
@@ -74,9 +77,8 @@ func NewSEDF(cfg SEDFConfig) *SEDF {
 		cfg.DefaultPeriod = DefaultSEDFPeriod
 	}
 	return &SEDF{
-		cfg:   cfg,
-		known: make(map[vm.ID]bool),
-		state: make(map[vm.ID]*sedfState),
+		cfg:  cfg,
+		byID: make(map[vm.ID]int),
 	}
 }
 
@@ -99,39 +101,41 @@ func (s *SEDF) Add(v *vm.VM) error {
 
 // AddWithParams registers a VM with an explicit (s, p, b) triplet.
 func (s *SEDF) AddWithParams(v *vm.VM, p SEDFParams) error {
-	if err := validateAdd(s.known, v); err != nil {
+	if err := checkAdd(s.byID, v); err != nil {
 		return err
 	}
 	if err := p.Validate(); err != nil {
 		return err
 	}
-	s.known[v.ID()] = true
+	s.byID[v.ID()] = len(s.vms)
 	s.vms = append(s.vms, v)
-	s.state[v.ID()] = &sedfState{
+	s.st = append(s.st, sedfState{
 		params:    p,
 		deadline:  p.Period,
 		remaining: float64(p.Slice),
-	}
+	})
 	return nil
 }
 
 // Params returns the VM's current SEDF parameters.
 func (s *SEDF) Params(id vm.ID) (SEDFParams, error) {
-	st, ok := s.state[id]
+	idx, ok := s.byID[id]
 	if !ok {
 		return SEDFParams{}, fmt.Errorf("%w: id %d", ErrUnknownVM, id)
 	}
-	return st.params, nil
+	return s.st[idx].params, nil
 }
 
 // Remove implements Scheduler.
 func (s *SEDF) Remove(id vm.ID) error {
-	if !s.known[id] {
+	idx, ok := s.byID[id]
+	if !ok {
 		return fmt.Errorf("%w: id %d", ErrUnknownVM, id)
 	}
-	delete(s.known, id)
-	delete(s.state, id)
-	s.vms = removeVM(s.vms, id)
+	delete(s.byID, id)
+	s.vms = spliceVM(s.vms, idx)
+	s.st = spliceState(s.st, idx)
+	reindexAfterRemove(s.byID, idx)
 	return nil
 }
 
@@ -148,11 +152,11 @@ func (s *SEDF) VMs() []*vm.VM {
 func (s *SEDF) Pick(_ sim.Time) *vm.VM {
 	var best *vm.VM
 	var bestDeadline sim.Time
-	for _, v := range s.vms {
+	for i, v := range s.vms {
 		if !v.Runnable() {
 			continue
 		}
-		st := s.state[v.ID()]
+		st := &s.st[i]
 		if st.remaining <= 0 {
 			continue
 		}
@@ -166,8 +170,7 @@ func (s *SEDF) Pick(_ sim.Time) *vm.VM {
 	}
 	// Extratime distribution: the variable-credit behaviour.
 	if i := s.rrExtra.next(len(s.vms), func(i int) bool {
-		v := s.vms[i]
-		return v.Runnable() && s.state[v.ID()].params.Extratime
+		return s.vms[i].Runnable() && s.st[i].params.Extratime
 	}); i >= 0 {
 		return s.vms[i]
 	}
@@ -179,10 +182,11 @@ func (s *SEDF) Charge(v *vm.VM, busy sim.Time, _ sim.Time) {
 	if v == nil || busy <= 0 {
 		return
 	}
-	st, ok := s.state[v.ID()]
-	if !ok {
+	idx := IndexOf(s.vms, v)
+	if idx < 0 {
 		return
 	}
+	st := &s.st[idx]
 	if st.remaining > 0 {
 		st.remaining -= float64(busy)
 		return
@@ -193,7 +197,8 @@ func (s *SEDF) Charge(v *vm.VM, busy sim.Time, _ sim.Time) {
 // Tick implements Scheduler: it rolls deadlines forward and replenishes
 // slices at each VM's period boundary.
 func (s *SEDF) Tick(now sim.Time) {
-	for _, st := range s.state {
+	for i := range s.st {
+		st := &s.st[i]
 		for st.deadline <= now {
 			st.deadline += st.params.Period
 			st.remaining = float64(st.params.Slice)
@@ -201,10 +206,53 @@ func (s *SEDF) Tick(now sim.Time) {
 	}
 }
 
+// NextBoundary implements BoundaryReporter: the earliest deadline, where
+// a slice replenishment changes who Pick prefers.
+func (s *SEDF) NextBoundary(sim.Time) sim.Time {
+	next := sim.Never
+	for i := range s.st {
+		if s.st[i].deadline < next {
+			next = s.st[i].deadline
+		}
+	}
+	return next
+}
+
+// BatchPick implements Batcher. With v the only runnable VM, EDF keeps
+// selecting it while its slice lasts, and afterwards through the
+// extratime round-robin; without the extratime flag an exhausted slice
+// idles the processor until the next deadline, which NextBoundary keeps
+// outside the offered stretch.
+func (s *SEDF) BatchPick(v *vm.VM, quantum sim.Time, max int, _ sim.Time) (int, bool) {
+	if v == nil || max <= 0 || quantum <= 0 || !v.Runnable() {
+		return 0, false
+	}
+	idx := IndexOf(s.vms, v)
+	if idx < 0 {
+		return 0, false
+	}
+	st := &s.st[idx]
+	if st.remaining > 0 {
+		n := int(st.remaining / float64(quantum))
+		if n > max {
+			n = max
+		}
+		if n < 1 {
+			return 0, false
+		}
+		return n, false
+	}
+	if st.params.Extratime {
+		s.rrExtra.last = idx
+		return max, false
+	}
+	return max, true
+}
+
 // SetCap implements CapSetter by resizing the VM's slice to pct percent of
 // its period, which lets PAS-style credit compensation drive SEDF too.
 func (s *SEDF) SetCap(id vm.ID, pct float64) error {
-	st, ok := s.state[id]
+	idx, ok := s.byID[id]
 	if !ok {
 		return fmt.Errorf("%w: id %d", ErrUnknownVM, id)
 	}
@@ -214,6 +262,7 @@ func (s *SEDF) SetCap(id vm.ID, pct float64) error {
 	if pct > 100 {
 		pct = 100 // a slice cannot exceed its period
 	}
+	st := &s.st[idx]
 	old := st.params.Slice
 	st.params.Slice = sim.Time(pct / 100 * float64(st.params.Period))
 	st.remaining += float64(st.params.Slice - old)
@@ -222,19 +271,19 @@ func (s *SEDF) SetCap(id vm.ID, pct float64) error {
 
 // Cap implements CapSetter.
 func (s *SEDF) Cap(id vm.ID) (float64, error) {
-	st, ok := s.state[id]
+	idx, ok := s.byID[id]
 	if !ok {
 		return 0, fmt.Errorf("%w: id %d", ErrUnknownVM, id)
 	}
-	return float64(st.params.Slice) / float64(st.params.Period) * 100, nil
+	return float64(s.st[idx].params.Slice) / float64(s.st[idx].params.Period) * 100, nil
 }
 
 // ExtratimeUsed returns the cumulative CPU time the VM received beyond its
 // guaranteed slices.
 func (s *SEDF) ExtratimeUsed(id vm.ID) (sim.Time, error) {
-	st, ok := s.state[id]
+	idx, ok := s.byID[id]
 	if !ok {
 		return 0, fmt.Errorf("%w: id %d", ErrUnknownVM, id)
 	}
-	return sim.Time(st.extraUsed), nil
+	return sim.Time(s.st[idx].extraUsed), nil
 }

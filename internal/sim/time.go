@@ -29,6 +29,12 @@ const (
 	Hour        Time = 60 * Minute
 )
 
+// Never is the sentinel "no deadline" time returned by horizon reporters
+// (sched.BoundaryReporter, workload.Forecaster, governor.DecisionHorizon)
+// when no future boundary exists. It is far beyond any reachable simulated
+// time while leaving headroom against overflow in comparisons.
+const Never Time = 1 << 62
+
 // Seconds returns t expressed in (simulated) seconds.
 func (t Time) Seconds() float64 {
 	return float64(t) / float64(Second)

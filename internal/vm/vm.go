@@ -67,6 +67,7 @@ type VM struct {
 	id  ID
 	cfg Config
 	wl  workload.Workload
+	fc  workload.Forecaster // wl's Forecaster side, nil if absent
 
 	paused  bool
 	cpuTime sim.Time // total busy CPU time granted to the VM
@@ -82,7 +83,9 @@ func New(id ID, cfg Config) (*VM, error) {
 	if cfg.Name == "" {
 		cfg.Name = fmt.Sprintf("vm%d", id)
 	}
-	return &VM{id: id, cfg: cfg, wl: workload.Idle{}}, nil
+	v := &VM{id: id, cfg: cfg}
+	v.SetWorkload(nil)
+	return v, nil
 }
 
 // ID returns the VM identifier.
@@ -107,6 +110,17 @@ func (v *VM) SetWorkload(wl workload.Workload) {
 		wl = workload.Idle{}
 	}
 	v.wl = wl
+	v.fc, _ = wl.(workload.Forecaster)
+}
+
+// NextChange forwards to the workload's Forecaster (see
+// workload.Forecaster); the second return value is false when the
+// workload cannot forecast at all.
+func (v *VM) NextChange(now sim.Time) (sim.Time, bool) {
+	if v.fc == nil {
+		return 0, false
+	}
+	return v.fc.NextChange(now), true
 }
 
 // Workload returns the currently bound workload.

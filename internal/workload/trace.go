@@ -137,6 +137,36 @@ func (w *TraceWorkload) Consume(max float64, _ sim.Time) float64 {
 // Served returns the total work executed.
 func (w *TraceWorkload) Served() float64 { return w.served }
 
+// NextChange implements Forecaster. The trace accrues work continuously
+// while a segment's rate is positive, so only zero-rate stretches are
+// forecastable: the next positive-rate segment start. Un-integrated
+// positive-rate demand in (lastTick, now] makes the state stale and
+// forecloses any promise.
+func (w *TraceWorkload) NextChange(now sim.Time) sim.Time {
+	t := w.lastTick
+	for t < now {
+		if w.rateAt(t) > 0 {
+			return now
+		}
+		end := now
+		i := sort.Search(len(w.points), func(i int) bool { return w.points[i].Start > t })
+		if i < len(w.points) && w.points[i].Start < end {
+			end = w.points[i].Start
+		}
+		t = end
+	}
+	if w.rateAt(now) > 0 {
+		return now
+	}
+	best := sim.Never
+	for _, p := range w.points {
+		if p.Start > now && p.Rate > 0 && p.Start < best {
+			best = p.Start
+		}
+	}
+	return best
+}
+
 // Burst wraps a workload and multiplies its consumption opportunities with
 // on/off bursts: during a burst the inner workload is exposed as-is;
 // outside bursts the workload appears idle (arrivals still accumulate in
@@ -186,4 +216,31 @@ func (b *Burst) Consume(max float64, now sim.Time) float64 {
 		return 0
 	}
 	return b.Inner.Consume(max, now)
+}
+
+// nextFlip returns the first gate transition strictly after t.
+func (b *Burst) nextFlip(t sim.Time) sim.Time {
+	phase := t % b.Period
+	if phase < b.On {
+		return t - phase + b.On
+	}
+	return t - phase + b.Period
+}
+
+// NextChange implements Forecaster: the earlier of the inner workload's
+// change and the next gate flip. A flip inside the un-ticked span
+// (b.now, now] makes the gate state stale and forecloses any promise.
+func (b *Burst) NextChange(now sim.Time) sim.Time {
+	fc, ok := b.Inner.(Forecaster)
+	if !ok {
+		return now
+	}
+	if b.now < now && b.nextFlip(b.now) <= now {
+		return now
+	}
+	next := fc.NextChange(now)
+	if flip := b.nextFlip(now); flip < next {
+		next = flip
+	}
+	return next
 }

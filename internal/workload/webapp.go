@@ -192,6 +192,31 @@ func (w *WebApp) arrive() {
 // Pending implements Workload.
 func (w *WebApp) Pending() float64 { return w.queue }
 
+// NextChange implements Forecaster. With an arrival already drawn, the
+// queue next changes at that arrival (possibly earlier if it falls past
+// its phase end and is dropped — stopping early is safe). Without one,
+// the next positive-rate phase start bounds the change; a positive-rate
+// phase overlapping the un-ticked span (lastTick, now] means arrivals may
+// already be due, so no promise is made.
+func (w *WebApp) NextChange(now sim.Time) sim.Time {
+	if w.haveNext {
+		return w.nextArr
+	}
+	best := sim.Never
+	for _, ph := range w.cfg.Phases {
+		if ph.Rate <= 0 || ph.End <= w.lastTick {
+			continue
+		}
+		if ph.Start <= now {
+			return now
+		}
+		if ph.Start < best {
+			best = ph.Start
+		}
+	}
+	return best
+}
+
 // Consume implements Workload.
 func (w *WebApp) Consume(max float64, _ sim.Time) float64 {
 	if max <= 0 || w.queue <= 0 {

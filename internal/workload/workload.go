@@ -40,6 +40,23 @@ type Workload interface {
 	Consume(max float64, now sim.Time) float64
 }
 
+// Forecaster is implemented by workloads that can promise when their
+// pending work can next change for any reason other than a Consume call:
+// a request arrival, a phase or trace-segment transition, a burst-gate
+// flip, or internal bookkeeping that a Tick between now and the returned
+// time would have performed. The simulation engine uses the promise to
+// batch stretches of quanta; a workload that cannot see that far simply
+// returns now (or is not a Forecaster at all), which forces
+// quantum-by-quantum stepping. Returning a time at or before now means
+// "cannot forecast / state is stale": the engine then ticks the workload
+// quantum by quantum, so a conservative answer is always safe.
+type Forecaster interface {
+	// NextChange returns the earliest time > now at which Pending may
+	// change without a Consume call, sim.Never if it cannot, or a time
+	// <= now when no promise can be made.
+	NextChange(now sim.Time) sim.Time
+}
+
 // Idle is a workload that never has work. It models a powered-on but lazy
 // VM outside its active phases.
 type Idle struct{}
@@ -52,6 +69,9 @@ func (Idle) Pending() float64 { return 0 }
 
 // Consume implements Workload.
 func (Idle) Consume(float64, sim.Time) float64 { return 0 }
+
+// NextChange implements Forecaster: an idle workload never gains work.
+func (Idle) NextChange(sim.Time) sim.Time { return sim.Never }
 
 // Hog is an always-runnable CPU hog with unbounded work, used by the
 // calibration procedures where the paper saturates a VM.
@@ -76,6 +96,10 @@ func (h *Hog) Consume(max float64, _ sim.Time) float64 {
 
 // Consumed returns the total work executed by the hog.
 func (h *Hog) Consumed() float64 { return h.consumed }
+
+// NextChange implements Forecaster: a hog's backlog only moves through
+// Consume.
+func (h *Hog) NextChange(sim.Time) sim.Time { return sim.Never }
 
 // PiApp is a fixed amount of CPU-bound work. Its completion time is the
 // execution-time metric used by Figure 1 and Table 2.
@@ -147,3 +171,7 @@ func (p *PiApp) CompletionTime() (sim.Time, bool) {
 func (p *PiApp) Progress() float64 {
 	return (p.total - p.remaining) / p.total
 }
+
+// NextChange implements Forecaster: the fixed work pool only drains
+// through Consume.
+func (p *PiApp) NextChange(sim.Time) sim.Time { return sim.Never }

@@ -34,6 +34,7 @@ import (
 	"pasched/internal/core"
 	"pasched/internal/cpufreq"
 	"pasched/internal/energy"
+	"pasched/internal/engine"
 	"pasched/internal/experiments"
 	"pasched/internal/governor"
 	"pasched/internal/host"
@@ -78,6 +79,11 @@ type (
 	Recorder = metrics.Recorder
 	// EnergyMeter integrates the host's power draw.
 	EnergyMeter = energy.Meter
+	// Engine is the shared simulation engine: it owns the clock, the
+	// event queue and the periodic actions of every simulated machine,
+	// and batches uninterrupted stretches of quanta up to the next event
+	// horizon (see internal/engine).
+	Engine = engine.Engine
 	// ExperimentResult is the outcome of a paper-reproduction experiment.
 	ExperimentResult = experiments.Result
 )

@@ -32,6 +32,7 @@ type systemConfig struct {
 	pasCF     []float64
 	quantum   sim.Time
 	dom0      bool
+	reference bool
 }
 
 // WithProfile selects the processor architecture. Default: Optiplex755.
@@ -159,6 +160,19 @@ func WithDom0() Option {
 	}
 }
 
+// WithReferenceStepping disables the simulation engine's event-horizon
+// batching and advances the host strictly one scheduling quantum at a
+// time. Batched and reference runs produce the same traces (the host's
+// equivalence tests enforce it); the switch exists for debugging and for
+// validating new schedulers, governors or workloads against the
+// reference semantics.
+func WithReferenceStepping() Option {
+	return func(c *systemConfig) error {
+		c.reference = true
+		return nil
+	}
+}
+
 // NewSystem builds a simulated virtualized host. With no options it is an
 // Optiplex 755 under the PAS scheduler.
 func NewSystem(opts ...Option) (*System, error) {
@@ -200,6 +214,7 @@ func NewSystem(opts ...Option) (*System, error) {
 		Scheduler: s,
 		Governor:  cfg.governor,
 		Quantum:   cfg.quantum,
+		Reference: cfg.reference,
 	})
 	if err != nil {
 		return nil, err
