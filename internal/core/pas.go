@@ -84,6 +84,7 @@ var (
 	_ sched.EffectiveCapper  = (*PAS)(nil)
 	_ sched.BoundaryReporter = (*PAS)(nil)
 	_ sched.Batcher          = (*PAS)(nil)
+	_ sched.PatternBatcher   = (*PAS)(nil)
 )
 
 // NewPAS builds a PAS scheduler.
@@ -193,6 +194,15 @@ func (p *PAS) NextBoundary(now sim.Time) sim.Time {
 // stretches by NextBoundary.
 func (p *PAS) BatchPick(v *vm.VM, quantum sim.Time, max int, now sim.Time) (int, bool) {
 	return p.credit.BatchPick(v, quantum, max, now)
+}
+
+// BatchPattern implements sched.PatternBatcher by delegating to the
+// underlying Credit scheduler: between recomputations (excluded from
+// batched stretches by NextBoundary) PAS schedules exactly like Credit
+// under the momentary compensated caps, so contended stretches collapse
+// to the same weighted round-robin rotations.
+func (p *PAS) BatchPattern(quota []sched.PatternQuota, quantum sim.Time, max int, now sim.Time) ([]sched.PatternPick, bool) {
+	return p.credit.BatchPattern(quota, quantum, max, now)
 }
 
 // updateDvfsAndCredits is the paper's Listing 1.2: compute the new

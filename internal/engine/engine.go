@@ -72,6 +72,26 @@ type action struct {
 	fn       func(now sim.Time) error
 }
 
+// boundarySource identifies what limited one event horizon.
+type boundarySource int
+
+const (
+	srcTarget boundarySource = iota // the RunUntil target
+	srcEvent                        // a scheduled event
+	srcAction                       // a periodic-action boundary
+)
+
+// sourceCounts is the per-boundary-source breakdown of RunUntil
+// iterations: every iteration increments exactly one counter, naming what
+// limited that iteration's horizon.
+type sourceCounts struct {
+	target           int64 // the run target bounded the horizon
+	event            int64 // a scheduled event bounded the horizon
+	action           int64 // a periodic-action boundary bounded the horizon
+	machineShortened int64 // the machine batched fewer quanta than offered
+	machineDeclined  int64 // the machine declined the batch (reference step)
+}
+
 // Engine owns simulated time for one machine: clock, event queue and
 // periodic actions.
 type Engine struct {
@@ -82,6 +102,7 @@ type Engine struct {
 	actions []*action
 	batched int64 // quanta executed through BatchStep
 	stepped int64 // quanta executed through Step
+	sources sourceCounts
 }
 
 // New returns an engine driving machine m at the given quantum.
@@ -144,6 +165,44 @@ func (e *Engine) BatchedQuanta() int64 { return e.batched }
 // SteppedQuanta returns how many quanta were executed one by one.
 func (e *Engine) SteppedQuanta() int64 { return e.stepped }
 
+// BoundarySources returns the per-boundary-source breakdown of who
+// limited each event horizon, as a fresh map keyed by
+//
+//	"target"            the RunUntil target bounded the horizon
+//	"event"             a scheduled event bounded the horizon
+//	"action"            a periodic-action boundary bounded the horizon
+//	"machine-shortened" the machine batched fewer quanta than offered
+//	"machine-declined"  the machine declined the batch entirely and one
+//	                    reference quantum ran instead
+//
+// Every RunUntil iteration counts exactly once, so the map is a census of
+// what to attack next when batching coverage stalls: a dominant
+// "machine-declined" count means the machine (typically its scheduler —
+// Credit2's per-pick vclock advance, for instance) cannot certify the
+// stretches the engine offers, while dominant engine-side sources mean
+// batching is already limited only by genuine discrete activity.
+func (e *Engine) BoundarySources() map[string]int64 {
+	return map[string]int64{
+		"target":            e.sources.target,
+		"event":             e.sources.event,
+		"action":            e.sources.action,
+		"machine-shortened": e.sources.machineShortened,
+		"machine-declined":  e.sources.machineDeclined,
+	}
+}
+
+// countSource attributes one RunUntil iteration to an engine-side source.
+func (e *Engine) countSource(src boundarySource) {
+	switch src {
+	case srcEvent:
+		e.sources.event++
+	case srcAction:
+		e.sources.action++
+	default:
+		e.sources.target++
+	}
+}
+
 // QuantaCovering returns how many whole quanta of the given length cover
 // the duration d: ceil(d/quantum), at least 1. A boundary at distance d
 // is handled (event fired, action run, workload change observed) at the
@@ -164,21 +223,23 @@ func (e *Engine) quantaCovering(d sim.Time) int {
 }
 
 // horizonQuanta returns the number of quanta from now to the event
-// horizon: the earliest of the run target, the next scheduled event and
-// the next periodic-action boundary, each rounded up to a whole quantum.
-func (e *Engine) horizonQuanta(now, target sim.Time) int {
+// horizon — the earliest of the run target, the next scheduled event and
+// the next periodic-action boundary, each rounded up to a whole quantum —
+// along with which source set it (earlier sources win ties).
+func (e *Engine) horizonQuanta(now, target sim.Time) (int, boundarySource) {
 	max := e.quantaCovering(target - now)
+	src := srcTarget
 	if at, ok := e.queue.Next(); ok {
 		if n := e.quantaCovering(at - now); n < max {
-			max = n
+			max, src = n, srcEvent
 		}
 	}
 	for _, a := range e.actions {
 		if n := e.quantaCovering(a.next - now); n < max {
-			max = n
+			max, src = n, srcAction
 		}
 	}
-	return max
+	return max, src
 }
 
 // Run advances the simulation by d.
@@ -196,7 +257,8 @@ func (e *Engine) RunUntil(t sim.Time) error {
 			return fmt.Errorf("engine: %w", err)
 		}
 		n := 0
-		if max := e.horizonQuanta(now, t); max > 1 {
+		max, src := e.horizonQuanta(now, t)
+		if max > 1 {
 			var err error
 			n, err = e.machine.BatchStep(now, max)
 			if err != nil {
@@ -206,6 +268,16 @@ func (e *Engine) RunUntil(t sim.Time) error {
 				return fmt.Errorf("engine: machine batched %d quanta of %d offered", n, max)
 			}
 			e.batched += int64(n)
+			switch {
+			case n == max:
+				e.countSource(src)
+			case n > 0:
+				e.sources.machineShortened++
+			default:
+				e.sources.machineDeclined++
+			}
+		} else {
+			e.countSource(src)
 		}
 		if n == 0 {
 			if err := e.machine.Step(now); err != nil {

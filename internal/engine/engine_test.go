@@ -10,10 +10,11 @@ import (
 )
 
 // scriptMachine records every Step/BatchStep call and optionally accepts
-// batches of the full offered size.
+// batches of the full offered size (or one quantum short of it).
 type scriptMachine struct {
-	batch bool
-	log   []string
+	batch   bool
+	shorten bool // accept max-1 instead of max when possible
+	log     []string
 	// offers records (now, max) for every BatchStep call.
 	offers [][2]int64
 }
@@ -28,8 +29,12 @@ func (m *scriptMachine) BatchStep(now sim.Time, max int) (int, error) {
 	if !m.batch {
 		return 0, nil
 	}
-	m.log = append(m.log, fmt.Sprintf("batch@%d+%d", now, max))
-	return max, nil
+	n := max
+	if m.shorten && max > 2 {
+		n = max - 1
+	}
+	m.log = append(m.log, fmt.Sprintf("batch@%d+%d", now, n))
+	return n, nil
 }
 
 func newTestEngine(t *testing.T, q sim.Time, m Machine) *Engine {
@@ -189,6 +194,89 @@ func TestBatchedMatchesStepped(t *testing.T) {
 	if bQuanta != sQuanta {
 		t.Fatalf("quanta differ: batched %d stepped %d", bQuanta, sQuanta)
 	}
+}
+
+// sumSources totals every counter of a BoundarySources breakdown.
+func sumSources(src map[string]int64) int64 {
+	var total int64
+	for _, v := range src {
+		total += v
+	}
+	return total
+}
+
+// TestBoundarySourcesAttribution verifies the per-boundary-source
+// breakdown: every RunUntil iteration is attributed to exactly one
+// limiter, and the limiter named matches what actually bounded the
+// horizon — the run target, a scheduled event, a periodic action, or the
+// machine declining/shortening the batch.
+func TestBoundarySourcesAttribution(t *testing.T) {
+	t.Run("machine-declined", func(t *testing.T) {
+		m := &scriptMachine{}
+		e := newTestEngine(t, sim.Millisecond, m)
+		if err := e.RunUntil(10 * sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		src := e.BoundarySources()
+		// Nine offers declined; the final quantum's horizon is the
+		// target itself, so no batch is attempted for it.
+		if src["machine-declined"] != 9 || src["target"] != 1 {
+			t.Fatalf("sources: %v", src)
+		}
+		if got := sumSources(src); got != 10 {
+			t.Fatalf("iterations attributed: %d, want 10", got)
+		}
+	})
+	t.Run("target", func(t *testing.T) {
+		m := &scriptMachine{batch: true}
+		e := newTestEngine(t, sim.Millisecond, m)
+		if err := e.RunUntil(10 * sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if src := e.BoundarySources(); src["target"] != 1 || sumSources(src) != 1 {
+			t.Fatalf("sources: %v", src)
+		}
+	})
+	t.Run("action-and-event", func(t *testing.T) {
+		m := &scriptMachine{batch: true}
+		e := newTestEngine(t, sim.Millisecond, m)
+		if err := e.AddAction("meter", 4*sim.Millisecond, OrderMeter, func(sim.Time) error {
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		e.Schedule(1500, func(sim.Time) {})
+		if err := e.RunUntil(12 * sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		src := e.BoundarySources()
+		// Horizon 1: the event at 1.5 ms (2 quanta). Then the action
+		// boundaries at 4, 8 and 12 ms bound every later horizon; the
+		// last boundary coincides with the target, and the earlier
+		// source wins the tie.
+		if src["event"] != 1 || src["action"] != 2 || src["target"] != 1 {
+			t.Fatalf("sources: %v", src)
+		}
+		if got := sumSources(src); got != 4 {
+			t.Fatalf("iterations attributed: %d, want 4", got)
+		}
+	})
+	t.Run("machine-shortened", func(t *testing.T) {
+		m := &scriptMachine{batch: true, shorten: true}
+		e := newTestEngine(t, sim.Millisecond, m)
+		if err := e.RunUntil(10 * sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		src := e.BoundarySources()
+		// 10-quanta horizon batched as 9, then a 1-quantum horizon that
+		// only the target bounds.
+		if src["machine-shortened"] != 1 || src["target"] != 1 {
+			t.Fatalf("sources: %v", src)
+		}
+		if e.BatchedQuanta() != 9 || e.SteppedQuanta() != 1 {
+			t.Fatalf("batched %d stepped %d", e.BatchedQuanta(), e.SteppedQuanta())
+		}
+	})
 }
 
 // errMachine fails its nth step.

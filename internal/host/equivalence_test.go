@@ -132,6 +132,103 @@ func equivalenceScenarios() []scenario {
 			},
 		},
 		{
+			// Contended fix-credit host: three hard-capped hogs plus a
+			// web VM keep 2-4 VMs runnable at once, so batching must
+			// fold Credit's weighted round-robin rotations between
+			// refills (the PatternBatcher path) instead of bailing out.
+			name: "credit-contended",
+			build: func(t *testing.T, reference bool) *host.Host {
+				h, err := host.New(host.Config{
+					Profile:   prof,
+					Scheduler: sched.NewCredit(sched.CreditConfig{}),
+					Reference: reference,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				addVM(t, h, 1, "V20", 20, &workload.Hog{})
+				addVM(t, h, 2, "V30", 30, &workload.Hog{})
+				addVM(t, h, 3, "V40", 40, &workload.Hog{})
+				addVM(t, h, 4, "Vweb", 5, webApp(t, prof, 4, 10*sim.Second, 25*sim.Second))
+				return h
+			},
+		},
+		{
+			// Contended host with strict priorities and a null-credit
+			// VM: Dom0 monopolizes its tier, the capped tier rotates,
+			// and the uncapped VM absorbs the leftover slack — three
+			// different pattern modes inside one run.
+			name: "credit-contended-tiers",
+			build: func(t *testing.T, reference bool) *host.Host {
+				h, err := host.New(host.Config{
+					Profile:   prof,
+					Scheduler: sched.NewCredit(sched.CreditConfig{}),
+					Reference: reference,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				dom0, err := vm.New(0, vm.Config{Name: "Dom0", Credit: 10, Priority: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				dom0.SetWorkload(&workload.Hog{})
+				if err := h.AddVM(dom0); err != nil {
+					t.Fatal(err)
+				}
+				addVM(t, h, 1, "V20", 20, &workload.Hog{})
+				addVM(t, h, 2, "V30", 30, &workload.Hog{})
+				addVM(t, h, 3, "V0", 0, &workload.Hog{})
+				return h
+			},
+		},
+		{
+			// Contended SEDF host: both VMs stay runnable, so batching
+			// must fold the frozen EDF order (sequential slice phases,
+			// then extratime rotations) between deadline boundaries.
+			name: "sedf-contended",
+			build: func(t *testing.T, reference bool) *host.Host {
+				h, err := host.New(host.Config{
+					Profile:   prof,
+					Scheduler: sched.NewSEDF(sched.SEDFConfig{DefaultExtratime: true}),
+					Reference: reference,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				addVM(t, h, 1, "V20", 20, &workload.Hog{})
+				addVM(t, h, 2, "V40", 40, &workload.Hog{})
+				addVM(t, h, 3, "Vweb", 30, webApp(t, prof, 20, 8*sim.Second, 20*sim.Second))
+				return h
+			},
+		},
+		{
+			// Contended in-scheduler PAS: two hogs rotate under the
+			// compensated caps while the 10 ms recomputation keeps every
+			// pattern short — batching, frequency changes and credit
+			// recomputation all interleave.
+			name: "pas-contended",
+			build: func(t *testing.T, reference bool) *host.Host {
+				cpu, err := cpufreq.NewCPU(prof)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pas, err := core.NewPAS(core.PASConfig{CPU: cpu})
+				if err != nil {
+					t.Fatal(err)
+				}
+				h, err := host.New(host.Config{CPU: cpu, Scheduler: pas, Reference: reference})
+				if err != nil {
+					t.Fatal(err)
+				}
+				pas.BindLoadSource(h)
+				addVM(t, h, 1, "V20", 20, &workload.Hog{})
+				addVM(t, h, 2, "V40", 40, &workload.Hog{})
+				addVM(t, h, 3, "Vweb", 30, webApp(t, prof, 25, 5*sim.Second, 22*sim.Second))
+				return h
+			},
+		},
+		{
 			// User-level credit manager: an agent boundary every second
 			// adjusts caps, plus scheduled workload swaps mid-run.
 			name: "credit+agent+events",

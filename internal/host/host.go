@@ -17,8 +17,10 @@
 // When scheduler, governor and workloads can all certify that nothing
 // scheduler-relevant happens inside the offered stretch (see
 // sched.BoundaryReporter, governor.DecisionHorizon, workload.Forecaster),
-// the host executes the whole stretch as one batched step — idle hosts
-// and single-runnable-VM runs cost O(1) per event horizon instead of
+// the host executes the whole stretch as one batched step — idle hosts,
+// single-runnable-VM runs (sched.Batcher) and contended multi-runnable
+// stretches whose pick pattern the scheduler can fold into per-VM tallies
+// (sched.PatternBatcher) cost O(1) per event horizon instead of
 // O(quanta) — and otherwise falls back to the reference quantum-by-quantum
 // semantics. Config.Reference forces the fallback everywhere, which is
 // the baseline the equivalence tests compare batched runs against.
@@ -115,7 +117,10 @@ type Host struct {
 	// Batching capabilities, resolved once at construction.
 	schedBR      sched.BoundaryReporter
 	schedBatcher sched.Batcher
+	schedPattern sched.PatternBatcher
 	govDH        governor.DecisionHorizon
+
+	quotaBuf []sched.PatternQuota // reused per batched pattern step
 }
 
 // machine adapts the host to the engine's Machine interface without
@@ -185,6 +190,7 @@ func New(cfg Config) (*Host, error) {
 	}
 	h.schedBR, _ = cfg.Scheduler.(sched.BoundaryReporter)
 	h.schedBatcher, _ = cfg.Scheduler.(sched.Batcher)
+	h.schedPattern, _ = cfg.Scheduler.(sched.PatternBatcher)
 	if cfg.Governor != nil {
 		h.govDH, _ = cfg.Governor.(governor.DecisionHorizon)
 	}
@@ -398,6 +404,18 @@ func (h *Host) step(now sim.Time) error {
 	return nil
 }
 
+// quantaWithin returns floor(pending/capWork) — how many full quanta of
+// work a backlog covers — clamped to 1<<30 so the float-to-int
+// conversion stays defined on 32-bit platforms (a Hog's 1e18 backlog
+// would otherwise overflow int and silently disable batching there).
+func quantaWithin(pending, capWork float64) int {
+	r := pending / capWork
+	if r >= 1<<30 {
+		return 1 << 30
+	}
+	return int(r)
+}
+
 // quantaCovering returns ceil(d/quantum), the number of quanta after
 // which a boundary at distance d is handled.
 func (h *Host) quantaCovering(d sim.Time) int {
@@ -415,22 +433,25 @@ func (h *Host) quantaBefore(d sim.Time) int {
 // batchStep executes up to max quanta starting at now as one batched
 // step when the stretch ahead is provably uniform: no scheduler
 // accounting boundary, no possible governor decision, no frequency
-// transition completion, no workload arrival or phase change, and either
-// an idle processor or a single runnable VM that the scheduler certifies
-// it would run for every quantum. It returns 0 whenever any of those
+// transition completion, no workload arrival or phase change, and a
+// processor occupancy the scheduler certifies for every covered quantum —
+// idle, a single runnable VM consuming full quanta (sched.Batcher), or a
+// contended multi-runnable pattern with per-VM consumed-quanta tallies
+// (sched.PatternBatcher). It returns 0 whenever any of those
 // certifications is unavailable, and the engine falls back to the
 // reference step.
 func (h *Host) batchStep(now sim.Time, max int) (int, error) {
 	if h.cfg.Reference || h.schedBR == nil || (h.gov != nil && h.govDH == nil) {
 		return 0, nil
 	}
-	// Cheapest disqualifier first: more than one runnable VM means the
-	// scheduler interleaves picks, which only the reference path models.
+	// Cheapest disqualifier first: more than one runnable VM interleaves
+	// picks, which needs the scheduler's pattern certification — without
+	// it only the reference path models the contention.
 	var single *vm.VM
 	runnable := 0
 	for _, v := range h.vms {
 		if v.Runnable() {
-			if runnable++; runnable > 1 {
+			if runnable++; runnable > 1 && h.schedPattern == nil {
 				return 0, nil
 			}
 			single = v
@@ -503,8 +524,8 @@ func (h *Host) batchStep(now sim.Time, max int) (int, error) {
 		}
 		return n, nil
 	}
-	if h.schedBatcher == nil {
-		return 0, nil
+	if runnable > 1 || h.schedBatcher == nil {
+		return h.batchPattern(q, freq, n, now)
 	}
 	picks, idle := h.schedBatcher.BatchPick(single, q, n, now)
 	// A 0/1 answer falls back to the reference step; any pick state the
@@ -530,7 +551,7 @@ func (h *Host) batchStep(now sim.Time, max int) (int, error) {
 	// Keep strictly below the pending work so every batched quantum
 	// consumes a full capWork and the VM stays runnable at every covered
 	// pick; the draining tail runs through the reference path.
-	if avail := int(single.Workload().Pending()/capWork) - 1; avail < n {
+	if avail := quantaWithin(single.Workload().Pending(), capWork) - 1; avail < n {
 		n = avail
 	}
 	if n < 2 {
@@ -551,6 +572,82 @@ func (h *Host) batchStep(now sim.Time, max int) (int, error) {
 		return 0, fmt.Errorf("host: %w", err)
 	}
 	return n, nil
+}
+
+// batchPattern collapses a contended (or scheduler-restricted) stretch of
+// up to max quanta into one composite pattern step: the scheduler
+// certifies its pick interleaving — Credit's weighted round-robin
+// rotation, SEDF's frozen EDF order — as per-VM consumed-quanta tallies,
+// and the host applies each VM's share (workload consumption, CPU time,
+// scheduler charge, per-VM accounting) in one pass, with every covered
+// quantum fully busy. The per-VM quotas keep each pattern VM strictly
+// inside its pending work so the runnable set cannot change from within
+// the pattern; the draining tail always runs through the reference path.
+func (h *Host) batchPattern(q sim.Time, freq cpufreq.Freq, max int, now sim.Time) (int, error) {
+	if h.schedPattern == nil || max < 2 {
+		return 0, nil
+	}
+	capWork := h.cpu.Throughput() * q.Seconds()
+	if capWork <= 0 {
+		return 0, nil
+	}
+	quotas := h.quotaBuf[:0]
+	for _, v := range h.vms {
+		if !v.Runnable() {
+			continue
+		}
+		// Strictly below the pending work, so every granted pick consumes
+		// a full quantum and the VM stays runnable past the pattern.
+		m := quantaWithin(v.Workload().Pending(), capWork) - 1
+		if m < 0 {
+			m = 0
+		}
+		quotas = append(quotas, sched.PatternQuota{VM: v, MaxPicks: m})
+	}
+	picks, idle := h.schedPattern.BatchPattern(quotas, q, max, now)
+	for i := range quotas {
+		quotas[i] = sched.PatternQuota{} // drop VM pointers from the reused buffer
+	}
+	h.quotaBuf = quotas[:0]
+	if idle {
+		d := sim.Time(max) * q
+		if err := h.energy.Add(d, freq, 0); err != nil {
+			return 0, fmt.Errorf("host: %w", err)
+		}
+		return max, nil
+	}
+	total := 0
+	for _, p := range picks {
+		total += p.Quanta
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	if total < 2 || total > max {
+		return 0, fmt.Errorf("host: scheduler %s certified a %d-quanta pattern of %d offered",
+			h.scheduler.Name(), total, max)
+	}
+	end := now + sim.Time(total)*q
+	for _, p := range picks {
+		if p.VM == nil || p.Quanta <= 0 {
+			return 0, fmt.Errorf("host: scheduler %s certified an invalid pattern pick",
+				h.scheduler.Name())
+		}
+		busy := sim.Time(p.Quanta) * q
+		done := p.VM.Consume(capWork*float64(p.Quanta), end)
+		p.VM.AddCPUTime(busy)
+		h.scheduler.Charge(p.VM, busy, end)
+		h.cumBusy += busy
+		h.cumWork += done
+		if idx := sched.IndexOf(h.vms, p.VM); idx >= 0 {
+			h.acct[idx].busy += busy
+			h.acct[idx].work += done
+		}
+	}
+	if err := h.energy.Add(sim.Time(total)*q, freq, 1); err != nil {
+		return 0, fmt.Errorf("host: %w", err)
+	}
+	return total, nil
 }
 
 // capReader returns the function used to read per-VM caps for the traces:

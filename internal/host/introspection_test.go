@@ -1,0 +1,140 @@
+package host_test
+
+import (
+	"testing"
+
+	"pasched/internal/cpufreq"
+	"pasched/internal/host"
+	"pasched/internal/sched"
+	"pasched/internal/sim"
+	"pasched/internal/vm"
+	"pasched/internal/workload"
+)
+
+// newIntroHost builds a governor-less host on the default profile for the
+// engine-introspection tests.
+func newIntroHost(t *testing.T, s sched.Scheduler, vms ...*vm.VM) *host.Host {
+	t.Helper()
+	h, err := host.New(host.Config{Profile: cpufreq.Optiplex755(), Scheduler: s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vms {
+		if err := h.AddVM(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+// hogVM builds a VM with an endless CPU hog.
+func hogVM(t *testing.T, id vm.ID, credit float64) *vm.VM {
+	t.Helper()
+	v, err := vm.New(id, vm.Config{Credit: credit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetWorkload(&workload.Hog{})
+	return v
+}
+
+// TestEngineIntrospection verifies BatchedQuanta/SteppedQuanta and the
+// BoundarySources breakdown across the three host occupancy regimes: an
+// idle host batches whole action horizons, a single-runnable host batches
+// with the scheduler refill shortening stretches, and a contended host
+// batches through the pattern path under Credit but degrades to
+// machine-declined reference stepping under Credit2 (whose vclock
+// advances with every pick).
+func TestEngineIntrospection(t *testing.T) {
+	const horizon = 5 * sim.Second
+
+	sum := func(m map[string]int64) int64 {
+		var s int64
+		for _, v := range m {
+			s += v
+		}
+		return s
+	}
+
+	t.Run("idle", func(t *testing.T) {
+		idle, err := vm.New(1, vm.Config{Credit: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := newIntroHost(t, sched.NewCredit(sched.CreditConfig{}), idle)
+		if err := h.RunUntil(horizon); err != nil {
+			t.Fatal(err)
+		}
+		eng := h.Engine()
+		// Only the quantum containing each 30 ms credit refill runs the
+		// reference path; everything else batches.
+		if eng.BatchedQuanta() == 0 || eng.SteppedQuanta() >= eng.BatchedQuanta()/10 {
+			t.Fatalf("idle host: batched %d stepped %d", eng.BatchedQuanta(), eng.SteppedQuanta())
+		}
+		src := eng.BoundarySources()
+		// The scheduler refill inside the 100 ms meter horizon makes the
+		// machine shorten (and, one quantum before each refill, decline)
+		// — but the engine-side action boundaries must show up too.
+		if src["machine-shortened"] == 0 || src["action"] == 0 {
+			t.Fatalf("idle host sources: %v", src)
+		}
+	})
+
+	t.Run("single-runnable", func(t *testing.T) {
+		h := newIntroHost(t, sched.NewCredit(sched.CreditConfig{}), hogVM(t, 1, 20))
+		if err := h.RunUntil(horizon); err != nil {
+			t.Fatal(err)
+		}
+		eng := h.Engine()
+		if eng.BatchedQuanta() == 0 {
+			t.Fatal("single-runnable host never batched")
+		}
+		src := eng.BoundarySources()
+		// The 30 ms credit refill lies inside the 100 ms meter horizon,
+		// so the machine shortens batches rather than declining them.
+		if src["machine-shortened"] == 0 {
+			t.Fatalf("want refill-shortened batches: %v", src)
+		}
+		if got := sum(src); got == 0 {
+			t.Fatalf("no horizons attributed: %v", src)
+		}
+	})
+
+	t.Run("contended-credit", func(t *testing.T) {
+		h := newIntroHost(t, sched.NewCredit(sched.CreditConfig{}),
+			hogVM(t, 1, 20), hogVM(t, 2, 30), hogVM(t, 3, 40))
+		if err := h.RunUntil(horizon); err != nil {
+			t.Fatal(err)
+		}
+		eng := h.Engine()
+		if eng.BatchedQuanta() == 0 {
+			t.Fatal("contended Credit host never batched")
+		}
+		if eng.BatchedQuanta() <= eng.SteppedQuanta() {
+			t.Fatalf("contended Credit host mostly stepped: batched %d stepped %d",
+				eng.BatchedQuanta(), eng.SteppedQuanta())
+		}
+	})
+
+	t.Run("contended-credit2", func(t *testing.T) {
+		h := newIntroHost(t, sched.NewCredit2(),
+			hogVM(t, 1, 20), hogVM(t, 2, 30))
+		if err := h.RunUntil(horizon); err != nil {
+			t.Fatal(err)
+		}
+		eng := h.Engine()
+		// Credit2 cannot certify patterns (its vclock advances with
+		// every pick), so a contended host steps quantum by quantum and
+		// the breakdown names the machine as the limiter.
+		if eng.BatchedQuanta() != 0 {
+			t.Fatalf("contended Credit2 host batched %d quanta", eng.BatchedQuanta())
+		}
+		src := eng.BoundarySources()
+		if src["machine-declined"] == 0 {
+			t.Fatalf("want machine-declined horizons under Credit2: %v", src)
+		}
+		if eng.SteppedQuanta() != int64(horizon/sim.Millisecond) {
+			t.Fatalf("stepped %d of %d quanta", eng.SteppedQuanta(), horizon/sim.Millisecond)
+		}
+	})
+}

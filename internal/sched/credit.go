@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 
 	"pasched/internal/sim"
 	"pasched/internal/vm"
@@ -53,6 +54,7 @@ var (
 	_ CapSetter        = (*Credit)(nil)
 	_ BoundaryReporter = (*Credit)(nil)
 	_ Batcher          = (*Credit)(nil)
+	_ PatternBatcher   = (*Credit)(nil)
 )
 
 // NewCredit returns a Credit scheduler with the given configuration.
@@ -234,6 +236,77 @@ func (c *Credit) BatchPick(v *vm.VM, quantum sim.Time, max int, _ sim.Time) (int
 		return max, false
 	}
 	return max, true
+}
+
+// BatchPattern implements PatternBatcher. Between credit refills (which
+// NextBoundary keeps outside the offered stretch) Pick's selection is a
+// strict-priority round-robin whose tier membership only changes when a
+// member's budget runs out, so the weighted pattern over a contended host
+// is whole rotations of the active tier: every member gets one full
+// quantum per rotation, in cyclic order from the tier's cursor. The
+// rotation count is bounded so every member stays eligible at each of its
+// own picks — budget life ceil(budget/quantum) picks for the budgeted
+// tier, unbounded for the uncapped and work-conserving tiers — which also
+// keeps the per-VM bulk Charge equivalent to the per-quantum charges
+// (Credit's Charge is linear in busy time). When every runnable VM is a
+// capped VM with an exhausted budget and the scheduler is not
+// work-conserving, the whole stretch provably idles.
+func (c *Credit) BatchPattern(quota []PatternQuota, quantum sim.Time, max int, _ sim.Time) ([]PatternPick, bool) {
+	if quantum <= 0 || max <= 0 {
+		return nil, false
+	}
+	// Mirror Pick's tier selection on the runnable set, which the caller
+	// certifies is static across the stretch.
+	anyRunnable := false
+	anyUncapped := false
+	bestPrio := 0
+	haveBudgeted := false
+	for i, v := range c.vms {
+		if !v.Runnable() {
+			continue
+		}
+		anyRunnable = true
+		if c.st[i].cap <= 0 {
+			anyUncapped = true
+			continue
+		}
+		if c.st[i].budget > 0 && (!haveBudgeted || v.Priority() > bestPrio) {
+			bestPrio = v.Priority()
+			haveBudgeted = true
+		}
+	}
+	var cursor *rrQueue
+	var eligible func(i int) bool
+	// life bounds a member's rotations so it survives every one of its
+	// own picks; nil members have no budget to run out of.
+	var life func(i int) int
+	switch {
+	case haveBudgeted:
+		cursor = &c.rrBudget
+		eligible = func(i int) bool {
+			v := c.vms[i]
+			return v.Runnable() && v.Priority() == bestPrio &&
+				c.st[i].cap > 0 && c.st[i].budget > 0
+		}
+		life = func(i int) int {
+			return int(math.Ceil(c.st[i].budget / float64(quantum)))
+		}
+	case anyUncapped:
+		cursor = &c.rrUncapped
+		eligible = func(i int) bool {
+			return c.vms[i].Runnable() && c.st[i].cap <= 0
+		}
+	case anyRunnable && c.cfg.WorkConserving:
+		cursor = &c.rrOverflow
+		eligible = func(i int) bool { return c.vms[i].Runnable() }
+	case anyRunnable:
+		// Every runnable VM is capped with an exhausted budget: Pick
+		// returns nil until the refill, which lies beyond the stretch.
+		return nil, true
+	default:
+		return nil, false
+	}
+	return rotationPattern(c.vms, cursor, quota, max, eligible, life), false
 }
 
 // SetCap implements CapSetter. Raising or lowering a cap mid-period adjusts

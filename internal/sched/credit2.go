@@ -129,8 +129,11 @@ func (c *Credit2) Tick(sim.Time) {}
 
 // NextBoundary implements BoundaryReporter: virtual-runtime scheduling
 // has no periodic accounting, so idle stretches batch freely. Busy
-// stretches still run quantum by quantum (Credit2 does not implement
-// Batcher) because the vclock advances with every pick.
+// stretches still run quantum by quantum — Credit2 implements neither
+// Batcher nor PatternBatcher because the vclock advances with every
+// pick, so no stretch of picks can be certified ahead of time. On a
+// contended Credit2 host this shows up as a dominant "machine-declined"
+// count in the engine's BoundarySources breakdown.
 func (c *Credit2) NextBoundary(sim.Time) sim.Time { return sim.Never }
 
 // Weight returns the VM's proportional-share weight.

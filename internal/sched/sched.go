@@ -98,6 +98,65 @@ type Batcher interface {
 	BatchPick(v *vm.VM, quantum sim.Time, max int, now sim.Time) (int, bool)
 }
 
+// PatternQuota bounds one VM's participation in a pattern step. The host
+// derives MaxPicks from the VM's pending work: the number of consecutive
+// full quanta the VM can absorb while staying runnable afterwards, so that
+// every covered pick consumes exactly one full quantum and the runnable
+// set cannot change from inside the pattern.
+type PatternQuota struct {
+	// VM is a currently runnable VM.
+	VM *vm.VM
+	// MaxPicks is the largest number of full quanta the VM may be granted
+	// within the pattern step. Zero excludes the VM from batching (it can
+	// still be skipped by the scheduler's own policy).
+	MaxPicks int
+}
+
+// PatternPick is one VM's tally within a certified pattern step: the VM
+// and how many full quanta it consumes across the step.
+type PatternPick struct {
+	VM     *vm.VM
+	Quanta int
+}
+
+// PatternBatcher is implemented by schedulers that can collapse a
+// *multi-runnable* stretch of scheduling quanta into one composite
+// pattern step. It generalizes Batcher: where BatchPick certifies a run
+// of identical picks of a sole runnable VM, BatchPattern certifies the
+// scheduler's full interleaving — Credit's weighted round-robin rotation
+// between credit refills, SEDF's EDF order between deadline boundaries —
+// as per-VM consumed-quanta tallies.
+//
+// The engine calls it only when no scheduler boundary (NextBoundary), no
+// governor decision, no frequency transition and no workload change lies
+// inside the offered stretch, so the certified pattern holds exactly when
+// the runnable set is static and every pick consumes a full quantum,
+// which quota guarantees.
+type PatternBatcher interface {
+	// BatchPattern certifies a pattern step of up to max quanta starting
+	// at now. quota lists exactly the currently runnable VMs with their
+	// per-VM pick bounds. It returns either
+	//
+	//   - (picks, false): the reference Pick sequence for the next
+	//     total = Σ picks[i].Quanta quanta (total <= max) grants each
+	//     listed VM exactly its tally, each pick consuming one full
+	//     quantum, and after those quanta the scheduler's pick state
+	//     (round-robin cursors) is as committed by this call. The caller
+	//     applies the consumed time through one Charge call per VM; the
+	//     tallies are chosen so that those bulk charges land in the same
+	//     accounting branch every per-quantum Charge would have
+	//     (scheduler-internal counters end bit-identical).
+	//   - (nil, true): Pick would return nil for each of the next max
+	//     quanta — every runnable VM is unserviceable (budget exhausted
+	//     under a hard cap, slice exhausted without extratime) — so the
+	//     processor idles for the whole offered stretch.
+	//   - (nil, false): the stretch cannot be certified (pattern shorter
+	//     than two quanta, or a policy the scheduler cannot fold); the
+	//     caller falls back to the reference Pick/Charge/Tick cycle. No
+	//     scheduler state is committed in this case.
+	BatchPattern(quota []PatternQuota, quantum sim.Time, max int, now sim.Time) ([]PatternPick, bool)
+}
+
 // CapSetter is implemented by schedulers whose per-VM CPU allocation can be
 // adjusted at run time. The PAS scheduler uses it to enforce the
 // recomputed, frequency-compensated credits (Listing 1.2 of the paper).
@@ -153,6 +212,62 @@ func reindexAfterRemove(byID map[vm.ID]int, idx int) {
 	}
 }
 
+// patternQuotaFor returns the MaxPicks bound the caller supplied for v,
+// or 0 when v has no quota entry (which excludes it from batching).
+func patternQuotaFor(quota []PatternQuota, v *vm.VM) int {
+	for _, q := range quota {
+		if q.VM == v {
+			return q.MaxPicks
+		}
+	}
+	return 0
+}
+
+// rotationPattern builds a whole-rotations pattern step over the VMs
+// accepted by eligible: every member gets one full quantum per rotation,
+// in the exact cyclic order the cursor would serve them. The rotation
+// count is the tightest member bound — the caller's quota, the
+// scheduler-policy pick life returned by life (nil means unbounded, e.g.
+// uncapped or extratime members), and the offered max. On success it
+// commits the cursor past the rotation and returns the per-member
+// tallies; it returns nil (cursor untouched) when fewer than two quanta
+// certify.
+func rotationPattern(vms []*vm.VM, cursor *rrQueue, quota []PatternQuota,
+	max int, eligible func(i int) bool, life func(i int) int) []PatternPick {
+	rotations := max
+	members := 0
+	for i, v := range vms {
+		if !eligible(i) {
+			continue
+		}
+		members++
+		r := patternQuotaFor(quota, v)
+		if life != nil {
+			if k := life(i); k < r {
+				r = k
+			}
+		}
+		if r < rotations {
+			rotations = r
+		}
+	}
+	if members == 0 {
+		return nil
+	}
+	if r := max / members; r < rotations {
+		rotations = r
+	}
+	if rotations*members < 2 {
+		return nil
+	}
+	order := cursor.rotation(len(vms), eligible)
+	picks := make([]PatternPick, len(order))
+	for j, i := range order {
+		picks[j] = PatternPick{VM: vms[i], Quanta: rotations}
+	}
+	return picks
+}
+
 // IndexOf returns the slice index of v by identity, -1 if absent. The
 // linear scan beats a map lookup for the handful of VMs a host carries,
 // which is why the per-quantum paths (schedulers and the host alike)
@@ -187,4 +302,29 @@ func (q *rrQueue) next(n int, ok func(i int) bool) int {
 		}
 	}
 	return -1
+}
+
+// rotation returns the indices of one full round-robin rotation over the
+// candidates accepted by ok, in the exact order successive next calls
+// would serve them, and commits the cursor past the rotation: after any
+// whole number of such rotations the next pick is again the first
+// returned index, and the cursor rests on the last one — precisely the
+// state quantum-by-quantum picking would leave behind. It returns nil
+// (cursor untouched) when no candidate is accepted.
+func (q *rrQueue) rotation(n int, ok func(i int) bool) []int {
+	if n == 0 {
+		return nil
+	}
+	start := q.last + 1
+	var order []int
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		if ok(i) {
+			order = append(order, i)
+		}
+	}
+	if len(order) > 0 {
+		q.last = order[len(order)-1]
+	}
+	return order
 }

@@ -2,6 +2,8 @@ package sched
 
 import (
 	"fmt"
+	"math"
+	"sort"
 
 	"pasched/internal/sim"
 	"pasched/internal/vm"
@@ -69,6 +71,7 @@ var (
 	_ CapSetter        = (*SEDF)(nil)
 	_ BoundaryReporter = (*SEDF)(nil)
 	_ Batcher          = (*SEDF)(nil)
+	_ PatternBatcher   = (*SEDF)(nil)
 )
 
 // NewSEDF returns an SEDF scheduler with the given configuration.
@@ -247,6 +250,97 @@ func (s *SEDF) BatchPick(v *vm.VM, quantum sim.Time, max int, _ sim.Time) (int, 
 		return max, false
 	}
 	return max, true
+}
+
+// BatchPattern implements PatternBatcher. Between deadline boundaries
+// (which NextBoundary keeps outside the offered stretch) the EDF order is
+// frozen, so a contended stretch is sequential, not interleaved: the
+// earliest-deadline VM holding slice time runs until its slice crosses
+// zero (ceil(remaining/quantum) picks — the crossing pick still runs a
+// full quantum, exactly as the reference does), then the next-earliest,
+// and so on. Every certified pick happens with the VM's slice still
+// positive, so the per-VM bulk Charge lands in the slice branch exactly
+// like the per-quantum charges would. The pattern is cut where a quota
+// stops a VM short of exhausting its slice (EDF cannot move past it) and
+// never extends into the extratime phase, so no VM is charged across the
+// slice/extratime branch switch. When no runnable VM holds slice time the
+// pattern is instead whole round-robin rotations over runnable extratime
+// VMs (all charges land in the extratime branch), and with no extratime
+// VM either, the whole stretch provably idles.
+func (s *SEDF) BatchPattern(quota []PatternQuota, quantum sim.Time, max int, _ sim.Time) ([]PatternPick, bool) {
+	if quantum <= 0 || max <= 0 {
+		return nil, false
+	}
+	type cand struct {
+		idx      int
+		deadline sim.Time
+	}
+	var cands []cand
+	anyRunnable := false
+	for i, v := range s.vms {
+		if !v.Runnable() {
+			continue
+		}
+		anyRunnable = true
+		if s.st[i].remaining > 0 {
+			cands = append(cands, cand{i, s.st[i].deadline})
+		}
+	}
+	if len(cands) > 0 {
+		// Ties keep registration order: Pick's strict < scan serves the
+		// lowest index first, which the stable sort preserves.
+		sort.SliceStable(cands, func(a, b int) bool {
+			return cands[a].deadline < cands[b].deadline
+		})
+		left := max
+		var picks []PatternPick
+		total := 0
+		for _, cd := range cands {
+			if left == 0 {
+				break
+			}
+			k := int(math.Ceil(s.st[cd.idx].remaining / float64(quantum)))
+			take := k
+			if q := patternQuotaFor(quota, s.vms[cd.idx]); q < take {
+				take = q
+			}
+			if left < take {
+				take = left
+			}
+			if take > 0 {
+				picks = append(picks, PatternPick{VM: s.vms[cd.idx], Quanta: take})
+				total += take
+				left -= take
+			}
+			if take < k {
+				break // the VM keeps slice time, so EDF cannot move past it
+			}
+		}
+		if total < 2 {
+			return nil, false
+		}
+		return picks, false
+	}
+	if !anyRunnable {
+		return nil, false
+	}
+	// Extratime phase: whole rotations, every member one quantum each.
+	eligible := func(i int) bool {
+		return s.vms[i].Runnable() && s.st[i].params.Extratime
+	}
+	hasExtra := false
+	for i := range s.vms {
+		if eligible(i) {
+			hasExtra = true
+			break
+		}
+	}
+	if !hasExtra {
+		// Runnable VMs without extratime and without slice time idle the
+		// processor until the next deadline, beyond the stretch.
+		return nil, true
+	}
+	return rotationPattern(s.vms, &s.rrExtra, quota, max, eligible, nil), false
 }
 
 // SetCap implements CapSetter by resizing the VM's slice to pct percent of
