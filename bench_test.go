@@ -13,6 +13,8 @@ import (
 	"testing"
 
 	"pasched"
+	"pasched/internal/fleet"
+	"pasched/internal/sim"
 )
 
 // runExperiment executes one experiment per benchmark iteration and
@@ -174,6 +176,44 @@ func BenchmarkExtMulticore(b *testing.B) {
 
 func BenchmarkExtConsolidation(b *testing.B) {
 	runExperiment(b, "ext-consolidation")
+}
+
+// BenchmarkFleetRun measures the trace-driven datacenter simulator: one
+// op builds a 200-machine heterogeneous fleet and drives 1000 VM
+// lifecycles through it for a 120 s horizon under the DVFS-aware policy
+// with PAS machines — the configuration where placement, migration,
+// power management and per-host batching all engage.
+func BenchmarkFleetRun(b *testing.B) {
+	const horizon = 120 * sim.Second
+	trace, err := fleet.Generate(fleet.GenConfig{Seed: 42, Arrivals: 1000, Horizon: horizon})
+	if err != nil {
+		b.Fatal(err)
+	}
+	machines := fleet.DefaultEstate(200)
+	b.ResetTimer()
+	var rep *fleet.Report
+	for i := 0; i < b.N; i++ {
+		fl, err := fleet.New(fleet.Config{
+			Machines:         machines,
+			UsePAS:           true,
+			Policy:           fleet.NewDVFSAware(),
+			ReportEvery:      30 * sim.Second,
+			ConsolidateEvery: 60 * sim.Second,
+			Seed:             42,
+		}, trace)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err = fl.Run(horizon)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Summary.Arrived == 0 || rep.Summary.BatchedQuanta == 0 {
+			b.Fatalf("vacuous fleet run: %+v", rep.Summary)
+		}
+	}
+	b.ReportMetric(float64(rep.Summary.BatchedQuanta), "batched_quanta/op")
+	b.ReportMetric(rep.Summary.OverallSLA*100, "overall_sla_pct")
 }
 
 // reportCheck reports a named check's measured value as a metric.

@@ -1,0 +1,165 @@
+// Command pasfleet runs the trace-driven heterogeneous datacenter
+// simulation (internal/fleet): it generates (or reads) a VM lifecycle
+// trace, drives it through a fleet of simulated machines under a chosen
+// placement policy and scheduler, and reports cluster-level energy,
+// active-machine and SLA curves.
+//
+// Usage:
+//
+//	pasfleet -machines 1000 -arrivals 5000 -horizon 600 -policy dvfs-aware
+//	pasfleet -trace trace.csv -sched credit -csv intervals.csv -json report.json
+//	pasfleet -arrivals 200 -write-trace trace.csv
+//
+// Exit status is non-zero on simulation errors, making the command
+// usable as a smoke gate in CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pasched/internal/fleet"
+	"pasched/internal/metrics"
+	"pasched/internal/sim"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("pasfleet", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		machines    = fs.Int("machines", 200, "number of machines in the heterogeneous estate")
+		arrivals    = fs.Int("arrivals", 1000, "number of VM lifecycles to generate")
+		horizon     = fs.Float64("horizon", 600, "simulated horizon in seconds")
+		seed        = fs.Uint64("seed", 42, "trace and workload seed")
+		policyName  = fs.String("policy", "first-fit", "placement policy: first-fit, best-fit or dvfs-aware")
+		schedName   = fs.String("sched", "pas", "per-machine scheduler: pas or credit (fix-credit)")
+		report      = fs.Float64("report", 30, "reporting interval in seconds")
+		consolidate = fs.Float64("consolidate", 120, "consolidation interval in seconds (0 disables)")
+		workers     = fs.Int("workers", 0, "parallel workers at reporting barriers (0 = GOMAXPROCS)")
+		tracePath   = fs.String("trace", "", "read the VM lifecycle trace from this CSV instead of generating")
+		writeTrace  = fs.String("write-trace", "", "write the generated trace as CSV to this file and exit")
+		csvPath     = fs.String("csv", "", "write the interval curves as CSV to this file")
+		jsonPath    = fs.String("json", "", "write the full report as JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var tr *fleet.Trace
+	var err error
+	if *tracePath != "" {
+		f, ferr := os.Open(*tracePath)
+		if ferr != nil {
+			fmt.Fprintln(errOut, ferr)
+			return 1
+		}
+		tr, err = fleet.ParseTrace(f)
+		f.Close()
+	} else {
+		tr, err = fleet.Generate(fleet.GenConfig{
+			Seed:     *seed,
+			Arrivals: *arrivals,
+			Horizon:  sim.FromSeconds(*horizon),
+		})
+	}
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+	if *writeTrace != "" {
+		if err := writeFile(*writeTrace, tr.WriteCSV); err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+		fmt.Fprintf(out, "wrote %d VM lifecycles to %s\n", len(tr.Events), *writeTrace)
+		return 0
+	}
+
+	policy, err := fleet.PolicyByName(*policyName)
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+	usePAS := false
+	switch *schedName {
+	case "pas":
+		usePAS = true
+	case "credit", "fix-credit":
+	default:
+		fmt.Fprintf(errOut, "pasfleet: unknown scheduler %q (want pas or credit)\n", *schedName)
+		return 1
+	}
+
+	fl, err := fleet.New(fleet.Config{
+		Machines:         fleet.DefaultEstate(*machines),
+		UsePAS:           usePAS,
+		Policy:           policy,
+		ReportEvery:      sim.FromSeconds(*report),
+		ConsolidateEvery: sim.FromSeconds(*consolidate),
+		Workers:          *workers,
+		Seed:             *seed,
+	}, tr)
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+	rep, err := fl.Run(sim.FromSeconds(*horizon))
+	if err != nil {
+		fmt.Fprintln(errOut, err)
+		return 1
+	}
+
+	printSummary(out, rep)
+	if *csvPath != "" {
+		if err := writeFile(*csvPath, rep.WriteCSV); err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+	}
+	if *jsonPath != "" {
+		if err := writeFile(*jsonPath, rep.WriteJSON); err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// printSummary renders the run outcome as an aligned table.
+func printSummary(out io.Writer, rep *fleet.Report) {
+	s := rep.Summary
+	tb := metrics.NewTable(fmt.Sprintf("Fleet run: %s scheduler, %s placement", s.Scheduler, s.Policy),
+		"quantity", "value")
+	tb.AddRow("machines", fmt.Sprintf("%d", s.Machines))
+	tb.AddRow("simulated horizon (s)", fmt.Sprintf("%.0f", s.HorizonS))
+	tb.AddRow("VMs arrived / departed / rejected", fmt.Sprintf("%d / %d / %d", s.Arrived, s.Departed, s.Rejected))
+	tb.AddRow("live migrations", fmt.Sprintf("%d", s.Migrated))
+	tb.AddRow("machines ever powered on", fmt.Sprintf("%d", s.EverPoweredOn))
+	tb.AddRow("active machines (peak / mean)", fmt.Sprintf("%d / %.1f", s.PeakActiveMachines, s.MeanActiveMachines))
+	tb.AddRow("energy (J)", fmt.Sprintf("%.0f", s.TotalJoules))
+	tb.AddRow("mean power (W)", fmt.Sprintf("%.1f", s.MeanPowerW))
+	tb.AddRow("overall SLA", fmt.Sprintf("%.4f", s.OverallSLA))
+	tb.AddRow("mean / min per-VM SLA", fmt.Sprintf("%.4f / %.4f", s.MeanVMSLA, s.MinVMSLA))
+	tb.AddRow("VMs below 95% SLA", fmt.Sprintf("%d", s.VMsBelow95))
+	tb.AddRow("batched / stepped quanta", fmt.Sprintf("%d / %d", s.BatchedQuanta, s.SteppedQuanta))
+	fmt.Fprintln(out, tb.Render())
+}

@@ -67,8 +67,11 @@ type HostSpec struct {
 	Dom0ReservePct float64
 }
 
-// withDefaults validates and fills defaults.
-func (h HostSpec) withDefaults() (HostSpec, error) {
+// WithDefaults validates the spec and fills defaults (10% Dom0 reserve,
+// the paper's setup). Callers composing machines out of HostSpecs — the
+// data center here, the heterogeneous fleet in internal/fleet — resolve
+// the spec once and keep the resolved copy.
+func (h HostSpec) WithDefaults() (HostSpec, error) {
 	if h.MemoryMB <= 0 {
 		return h, fmt.Errorf("consolidation: host memory %d not positive", h.MemoryMB)
 	}
@@ -96,7 +99,7 @@ type Placement struct {
 // (100 - Dom0ReservePct) of every machine. It returns an error if any
 // single VM cannot fit on an empty machine.
 func PackFFD(vms []VMSpec, spec HostSpec) (*Placement, error) {
-	spec, err := spec.withDefaults()
+	spec, err := spec.WithDefaults()
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +179,7 @@ type Report struct {
 // the maximum frequency (the baseline), with each VM offering
 // Activity x Credit worth of load. Switched-off machines consume nothing.
 func Simulate(p *Placement, vms []VMSpec, spec HostSpec, dur sim.Time, usePAS bool) (*Report, error) {
-	spec, err := spec.withDefaults()
+	spec, err := spec.WithDefaults()
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +207,7 @@ func Simulate(p *Placement, vms []VMSpec, spec HostSpec, dur sim.Time, usePAS bo
 		return nil, err
 	}
 	for hi, group := range byHost {
-		h, err := buildHost(spec, usePAS)
+		h, err := NewHost(spec, usePAS)
 		if err != nil {
 			return nil, fmt.Errorf("consolidation: host %d: %w", hi, err)
 		}
@@ -243,8 +246,31 @@ func Simulate(p *Placement, vms []VMSpec, spec HostSpec, dur sim.Time, usePAS bo
 	return rep, nil
 }
 
-// buildHost assembles one simulated machine with a Dom0.
-func buildHost(spec HostSpec, usePAS bool) (*host.Host, error) {
+// NewHost assembles one simulated machine from the spec: a CPU with the
+// spec's frequency ladder, either the PAS scheduler (credits compensated
+// at reduced frequencies, the load source bound to the host) or a plain
+// fix-credit scheduler pinned at the maximum frequency, plus a Dom0 with
+// the reserved share. It is the machine constructor shared by the
+// homogeneous data center here and the heterogeneous fleet
+// (internal/fleet).
+func NewHost(spec HostSpec, usePAS bool) (*host.Host, error) {
+	return NewHostWithOptions(spec, usePAS, HostOptions{})
+}
+
+// HostOptions tunes the assembled machine beyond the hardware spec.
+type HostOptions struct {
+	// Reference forces the reference quantum-by-quantum stepping path
+	// (host.Config.Reference), for batched==reference equivalence tests.
+	Reference bool
+	// SampleEvery overrides the host recorder's sampling interval. Fleet
+	// machines sample at the fleet's reporting cadence instead of every
+	// second, keeping per-host recorder memory flat at thousands of
+	// machines. Zero keeps the host default.
+	SampleEvery sim.Time
+}
+
+// NewHostWithOptions is NewHost with the extra knobs of HostOptions.
+func NewHostWithOptions(spec HostSpec, usePAS bool, opts HostOptions) (*host.Host, error) {
 	cpu, err := cpufreq.NewCPU(spec.Profile)
 	if err != nil {
 		return nil, err
@@ -256,11 +282,18 @@ func buildHost(spec HostSpec, usePAS bool) (*host.Host, error) {
 		if err != nil {
 			return nil, err
 		}
-		h, err = host.New(host.Config{CPU: cpu, Scheduler: pas})
+		h, err = host.New(host.Config{
+			CPU:            cpu,
+			Scheduler:      pas,
+			Reference:      opts.Reference,
+			SampleInterval: opts.SampleEvery,
+		})
 	} else {
 		h, err = host.New(host.Config{
-			CPU:       cpu,
-			Scheduler: sched.NewCredit(sched.CreditConfig{}),
+			CPU:            cpu,
+			Scheduler:      sched.NewCredit(sched.CreditConfig{}),
+			Reference:      opts.Reference,
+			SampleInterval: opts.SampleEvery,
 		})
 	}
 	if err != nil {

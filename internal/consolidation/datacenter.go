@@ -71,7 +71,7 @@ type migration struct {
 
 // NewDataCenter builds n machines, all powered on and empty.
 func NewDataCenter(spec HostSpec, n int, usePAS bool) (*DataCenter, error) {
-	spec, err := spec.withDefaults()
+	spec, err := spec.WithDefaults()
 	if err != nil {
 		return nil, err
 	}
@@ -87,7 +87,7 @@ func NewDataCenter(spec HostSpec, n int, usePAS bool) (*DataCenter, error) {
 		workers:   engine.DefaultWorkers(),
 	}
 	for i := 0; i < n; i++ {
-		h, err := buildHost(spec, usePAS)
+		h, err := NewHost(spec, usePAS)
 		if err != nil {
 			return nil, fmt.Errorf("consolidation: machine %d: %w", i, err)
 		}
@@ -274,6 +274,14 @@ func (dc *DataCenter) completeMigrations() error {
 		p := dc.vms[mg.name]
 		src := dc.machines[mg.from]
 		dst := dc.machines[mg.to]
+		// The reservation taken at Migrate time keeps the target's memory
+		// in use, so PowerOff refuses it; a powered-off target here means
+		// the accounting was corrupted, and landing the VM on it would
+		// silently freeze the VM's clock with the machine's.
+		if !dst.on {
+			return fmt.Errorf("consolidation: migration of %s: target machine %d was powered off mid-copy",
+				mg.name, mg.to)
+		}
 		if err := src.h.RemoveVM(p.guest.ID()); err != nil {
 			return err
 		}

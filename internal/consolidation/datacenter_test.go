@@ -2,6 +2,7 @@ package consolidation
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"pasched/internal/sim"
@@ -407,5 +408,65 @@ func TestAutoConsolidationSavesEnergy(t *testing.T) {
 	if auto.TotalJoules() >= spread.TotalJoules() {
 		t.Errorf("auto-consolidated %.0fJ not below spread %.0fJ",
 			auto.TotalJoules(), spread.TotalJoules())
+	}
+}
+
+// TestPlaceOnPoweredOffMachine: placement must fail loudly against a
+// powered-off target — fleet-style policies depend on the diagnosable
+// error instead of silent misaccounting on a frozen machine.
+func TestPlaceOnPoweredOffMachine(t *testing.T) {
+	dc := newDC(t, 2, true)
+	if err := dc.PowerOff(1); err != nil {
+		t.Fatal(err)
+	}
+	err := dc.Place(VMSpec{Name: "x", CreditPct: 10, MemoryMB: 512, Activity: 0.5}, 1)
+	if err == nil {
+		t.Fatal("placement on a powered-off machine accepted")
+	}
+	if !strings.Contains(err.Error(), "powered off") {
+		t.Errorf("error does not name the power state: %v", err)
+	}
+	// The failed placement must leave no trace behind.
+	if _, lookupErr := dc.MachineOf("x"); lookupErr == nil {
+		t.Error("failed placement registered the VM anyway")
+	}
+	if err := dc.PowerOn(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Place(VMSpec{Name: "x", CreditPct: 10, MemoryMB: 512, Activity: 0.5}, 1); err != nil {
+		t.Errorf("placement after power-on failed: %v", err)
+	}
+}
+
+// TestMigrateToPoweredOffMachine: migrations must refuse powered-off
+// targets with a clear error, and the refusal must not reserve anything.
+func TestMigrateToPoweredOffMachine(t *testing.T) {
+	dc := newDC(t, 3, true)
+	if err := dc.Place(VMSpec{Name: "web", CreditPct: 20, MemoryMB: 1024, Activity: 0.5}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.PowerOff(2); err != nil {
+		t.Fatal(err)
+	}
+	err := dc.Migrate("web", 2)
+	if err == nil {
+		t.Fatal("migration to a powered-off machine accepted")
+	}
+	if !strings.Contains(err.Error(), "powered off") {
+		t.Errorf("error does not name the power state: %v", err)
+	}
+	// No reservation may linger: powering the machine back on and
+	// migrating there must still work with full capacity.
+	if err := dc.PowerOn(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Migrate("web", 2); err != nil {
+		t.Errorf("migration after power-on failed: %v", err)
+	}
+	if err := dc.Run(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if mi, err := dc.MachineOf("web"); err != nil || mi != 2 {
+		t.Errorf("MachineOf(web) = %d, %v", mi, err)
 	}
 }

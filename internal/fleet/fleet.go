@@ -1,0 +1,935 @@
+package fleet
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"pasched/internal/consolidation"
+	"pasched/internal/cpufreq"
+	"pasched/internal/engine"
+	"pasched/internal/host"
+	"pasched/internal/sim"
+	"pasched/internal/vm"
+	"pasched/internal/workload"
+)
+
+// MachineClass is one hardware class of the fleet: Count identical
+// machines built from the spec (memory size, frequency ladder, power
+// curve, Dom0 reserve).
+type MachineClass struct {
+	// Name identifies the class in reports.
+	Name string
+	// Count is how many machines of this class the fleet has.
+	Count int
+	// Spec is the machine hardware, as in the consolidation package.
+	Spec consolidation.HostSpec
+}
+
+// DefaultEstate splits n machines into the built-in heterogeneous mix
+// shared by cmd/pasfleet, examples/fleet and the gated benchmark: half
+// desktop-class Optiplex 755s, a third Elite 8300s, the rest big-memory
+// Xeon E5-2620 servers (the Table 1 part with the strongest deviation
+// from frequency proportionality).
+func DefaultEstate(n int) []MachineClass {
+	opti := n / 2
+	elite := n / 3
+	xeon := n - opti - elite
+	var out []MachineClass
+	if opti > 0 {
+		out = append(out, MachineClass{Name: "optiplex-755", Count: opti,
+			Spec: consolidation.HostSpec{MemoryMB: 8192, Profile: cpufreq.Optiplex755()}})
+	}
+	if elite > 0 {
+		out = append(out, MachineClass{Name: "elite-8300", Count: elite,
+			Spec: consolidation.HostSpec{MemoryMB: 16384, Profile: cpufreq.Elite8300()}})
+	}
+	if xeon > 0 {
+		out = append(out, MachineClass{Name: "xeon-e5-2620", Count: xeon,
+			Spec: consolidation.HostSpec{MemoryMB: 24576, Profile: cpufreq.XeonE5_2620()}})
+	}
+	return out
+}
+
+// Config configures a Fleet.
+type Config struct {
+	// Machines lists the machine classes. Required, at least one machine
+	// in total.
+	Machines []MachineClass
+	// UsePAS selects the scheduler on every machine: the PAS scheduler
+	// (DVFS with credit compensation) or the fix-credit baseline pinned
+	// at the maximum frequency.
+	UsePAS bool
+	// Policy decides placement (and consolidation targets). Default
+	// first-fit.
+	Policy Policy
+	// ReportEvery is the reporting barrier interval: all powered-on
+	// machines synchronize, energy and SLA roll up into one interval
+	// sample, and empty machines power off. Default 30 s.
+	ReportEvery sim.Time
+	// ConsolidateEvery enables periodic consolidation: every interval the
+	// fleet tries to empty its least-loaded machine through live
+	// migrations chosen by the policy. Zero disables consolidation (empty
+	// machines still power off at reporting barriers).
+	ConsolidateEvery sim.Time
+	// MigrationBandwidthMBps is the live-migration pre-copy bandwidth;
+	// default consolidation.DefaultMigrationBandwidthMBps.
+	MigrationBandwidthMBps float64
+	// Workers bounds how many machines catch up concurrently at a
+	// reporting barrier. Machines are fully independent hosts between
+	// barriers, so the simulation result is identical for any worker
+	// count. Zero selects GOMAXPROCS; 1 forces sequential stepping.
+	Workers int
+	// Seed seeds the per-VM workload arrival processes.
+	Seed uint64
+	// DeterministicArrivals selects fixed inter-arrival times inside each
+	// VM's demand profile instead of Poisson arrivals.
+	DeterministicArrivals bool
+	// Reference forces every machine onto the reference
+	// quantum-by-quantum stepping path (host.Config.Reference), the
+	// baseline the batched==reference equivalence tests compare against.
+	Reference bool
+}
+
+// withDefaults validates the configuration and fills defaults.
+func (cfg Config) withDefaults() (Config, error) {
+	total := 0
+	for i, mc := range cfg.Machines {
+		if mc.Count < 0 {
+			return cfg, fmt.Errorf("fleet: machine class %d (%s) has negative count", i, mc.Name)
+		}
+		if mc.Name == "" {
+			return cfg, fmt.Errorf("fleet: machine class %d without a name", i)
+		}
+		total += mc.Count
+	}
+	if total < 1 {
+		return cfg, fmt.Errorf("fleet: need at least 1 machine, got %d", total)
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = NewFirstFit()
+	}
+	if cfg.ReportEvery == 0 {
+		cfg.ReportEvery = 30 * sim.Second
+	}
+	if cfg.ReportEvery <= 0 {
+		return cfg, fmt.Errorf("fleet: report interval %v not positive", cfg.ReportEvery)
+	}
+	if cfg.ConsolidateEvery < 0 {
+		return cfg, fmt.Errorf("fleet: consolidation interval %v negative", cfg.ConsolidateEvery)
+	}
+	if cfg.MigrationBandwidthMBps == 0 {
+		cfg.MigrationBandwidthMBps = consolidation.DefaultMigrationBandwidthMBps
+	}
+	if cfg.MigrationBandwidthMBps <= 0 {
+		return cfg, fmt.Errorf("fleet: migration bandwidth %v not positive", cfg.MigrationBandwidthMBps)
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = engine.DefaultWorkers()
+	}
+	return cfg, nil
+}
+
+// machine is one physical machine: a simulated host plus the fleet's
+// bookkeeping (reservations included, so placement decisions never need
+// to synchronize the host).
+type machine struct {
+	h          *host.Host
+	class      int // index into Config.Machines
+	spec       consolidation.HostSpec
+	on         bool
+	everOn     bool
+	prevJoules float64
+	memUsed    int
+	creditUsed float64
+	offeredPct float64
+	vmCount    int
+	inbound    int // in-flight inbound migration reservations
+	nextID     vm.ID
+}
+
+// capacityPct is the machine's placeable credit capacity.
+func (m *machine) capacityPct() float64 { return 100 - m.spec.Dom0ReservePct }
+
+// placedVM is one live (or migrating) VM.
+type placedVM struct {
+	req     Request
+	class   string
+	machine int
+	guest   *vm.VM
+	wl      *workload.WebApp
+	arrive  sim.Time
+	// prevDemanded/prevAttained are the portions already folded into
+	// interval counters.
+	prevDemanded float64
+	prevAttained float64
+	mig          *migration // non-nil while migrating away
+	gone         bool
+}
+
+// demanded returns the VM's cumulative demanded work: everything its
+// workload has offered so far, served or still queued.
+func (p *placedVM) demanded() float64 { return p.wl.CompletedWork() + p.wl.Pending() }
+
+// migration is one in-flight live migration (pre-copy: the VM keeps
+// running on the source; the target holds a reservation).
+type migration struct {
+	name     string
+	from, to int
+	done     sim.Time
+	canceled bool
+}
+
+// timedName orders heap entries by (time, name) so every queue pops
+// deterministically.
+type timedName struct {
+	at   sim.Time
+	name string
+}
+
+type timedHeap []timedName
+
+func (h timedHeap) Len() int { return len(h) }
+func (h timedHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].name < h[j].name
+}
+func (h timedHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timedHeap) Push(x any)   { *h = append(*h, x.(timedName)) }
+func (h *timedHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h timedHeap) top() (sim.Time, bool) {
+	if len(h) == 0 {
+		return sim.Never, false
+	}
+	return h[0].at, true
+}
+
+// Fleet is the trace-driven heterogeneous datacenter simulator.
+type Fleet struct {
+	cfg      Config
+	trace    *Trace
+	machines []*machine
+	vms      map[string]*placedVM
+	order    []*placedVM // insertion order; compacted at barriers
+	migs     map[string]*migration
+	departQ  timedHeap
+	migQ     timedHeap
+	now      sim.Time
+	horizon  sim.Time
+	nextEv   int
+	ran      bool
+
+	statesBuf []MachineState
+	tasksBuf  []func() error
+
+	// cumulative counters
+	arrived, departed, rejected, migrated int
+	poweredOn, poweredOff                 int
+	joules                                float64
+	demanded, attained                    float64
+
+	// current-interval counters
+	iv         Interval
+	lastSample sim.Time
+
+	rep *Report
+}
+
+// New builds a fleet from the configuration and the trace. Machines
+// start powered off; the policy powers them on as VMs arrive.
+func New(cfg Config, trace *Trace) (*Fleet, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := trace.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		cfg:   cfg,
+		trace: trace,
+		vms:   make(map[string]*placedVM),
+		migs:  make(map[string]*migration),
+	}
+	for ci := range cfg.Machines {
+		mc := &cfg.Machines[ci]
+		spec, err := mc.Spec.WithDefaults()
+		if err != nil {
+			return nil, fmt.Errorf("fleet: machine class %s: %w", mc.Name, err)
+		}
+		if _, err := spec.Profile.Throughput(spec.Profile.Max()); err != nil {
+			return nil, fmt.Errorf("fleet: machine class %s: %w", mc.Name, err)
+		}
+		for i := 0; i < mc.Count; i++ {
+			h, err := newMachineHost(spec, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fleet: machine class %s #%d: %w", mc.Name, i, err)
+			}
+			f.machines = append(f.machines, &machine{
+				h:      h,
+				class:  ci,
+				spec:   spec,
+				nextID: 1,
+			})
+		}
+	}
+	return f, nil
+}
+
+// newMachineHost builds one machine host. Fleet machines sample their
+// recorders at the fleet's reporting cadence — at thousands of machines
+// the default 1 s sampling would dominate memory for data the fleet
+// never reads (it reports its own interval curves).
+func newMachineHost(spec consolidation.HostSpec, cfg Config) (*host.Host, error) {
+	return consolidation.NewHostWithOptions(spec, cfg.UsePAS, consolidation.HostOptions{
+		Reference:   cfg.Reference,
+		SampleEvery: cfg.ReportEvery,
+	})
+}
+
+// Machines returns the number of machines.
+func (f *Fleet) Machines() int { return len(f.machines) }
+
+// Now returns the fleet's simulated time.
+func (f *Fleet) Now() sim.Time { return f.now }
+
+// BatchedQuanta returns the total quanta executed through batched steps
+// across every machine, for the equivalence tests' vacuity checks.
+func (f *Fleet) BatchedQuanta() int64 {
+	var n int64
+	for _, m := range f.machines {
+		n += m.h.Engine().BatchedQuanta()
+	}
+	return n
+}
+
+// Host exposes one machine's simulated host (for tests and metrics).
+func (f *Fleet) Host(i int) (*host.Host, error) {
+	if i < 0 || i >= len(f.machines) {
+		return nil, fmt.Errorf("fleet: machine %d out of range", i)
+	}
+	return f.machines[i].h, nil
+}
+
+// Run advances the fleet from time zero to the horizon, consuming the
+// trace, and returns the cluster-level report. The fleet is single-shot:
+// a second Run returns an error.
+//
+// The loop is event-driven: the fleet computes the earliest upcoming
+// fleet-level event — a VM arrival or departure, a migration completion,
+// a consolidation round, a reporting barrier — and lets each involved
+// machine advance to exactly that moment, so per-host event-horizon
+// batching folds the whole uninterrupted stretch. All machines are only
+// synchronized together at reporting barriers, where they catch up
+// concurrently on the worker pool; every piece of cross-machine
+// bookkeeping runs sequentially in machine order, which makes the run
+// deterministic for any worker count.
+func (f *Fleet) Run(horizon sim.Time) (*Report, error) {
+	if f.ran {
+		return nil, fmt.Errorf("fleet: already ran; build a new fleet for another run")
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("fleet: run horizon %v not positive", horizon)
+	}
+	f.ran = true
+	f.horizon = horizon
+	f.rep = &Report{}
+
+	nextReport := f.cfg.ReportEvery
+	if nextReport > horizon {
+		nextReport = horizon
+	}
+	nextConsolidate := sim.Never
+	if f.cfg.ConsolidateEvery > 0 {
+		nextConsolidate = f.cfg.ConsolidateEvery
+	}
+
+	for {
+		t := horizon
+		if f.nextEv < len(f.trace.Events) {
+			if at := f.trace.Events[f.nextEv].Arrive; at < t {
+				t = at
+			}
+		}
+		if at, ok := f.departQ.top(); ok && at < t {
+			t = at
+		}
+		if at, ok := f.migQ.top(); ok && at < t {
+			t = at
+		}
+		if nextConsolidate < t {
+			t = nextConsolidate
+		}
+		if nextReport < t {
+			t = nextReport
+		}
+		f.now = t
+
+		// Fixed processing order at one instant: migrations land first,
+		// departures free capacity, arrivals consume it, consolidation
+		// sees the settled state, and the reporting barrier samples last.
+		for len(f.migQ) > 0 && f.migQ[0].at <= t {
+			if err := f.completeMigration(heap.Pop(&f.migQ).(timedName).name); err != nil {
+				return nil, err
+			}
+		}
+		for len(f.departQ) > 0 && f.departQ[0].at <= t {
+			if err := f.depart(heap.Pop(&f.departQ).(timedName).name); err != nil {
+				return nil, err
+			}
+		}
+		for f.nextEv < len(f.trace.Events) && f.trace.Events[f.nextEv].Arrive <= t {
+			ev := &f.trace.Events[f.nextEv]
+			f.nextEv++
+			if ev.Arrive >= horizon {
+				continue
+			}
+			if err := f.arrive(ev); err != nil {
+				return nil, err
+			}
+		}
+		if t == nextConsolidate {
+			if err := f.consolidate(); err != nil {
+				return nil, err
+			}
+			nextConsolidate += f.cfg.ConsolidateEvery
+		}
+		if t == nextReport || t == horizon {
+			if err := f.reportBarrier(t); err != nil {
+				return nil, err
+			}
+			if t == nextReport {
+				nextReport += f.cfg.ReportEvery
+				if nextReport > horizon {
+					nextReport = horizon
+				}
+			}
+		}
+		if t >= horizon {
+			break
+		}
+	}
+	f.finalize()
+	return f.rep, nil
+}
+
+// sync advances one machine's host to the fleet's present. Machines lag
+// behind between the events that involve them; syncing lets the host
+// batch the whole gap.
+func (f *Fleet) sync(m *machine) error {
+	if m.h.Now() >= f.now {
+		return nil
+	}
+	return m.h.RunUntil(f.now)
+}
+
+// powerOn switches a machine on: its host catches up to the present and
+// the energy spent during the catch-up is excluded from the fleet total
+// (the machine was off).
+func (f *Fleet) powerOn(m *machine) error {
+	if m.on {
+		return nil
+	}
+	if err := f.sync(m); err != nil {
+		return err
+	}
+	m.prevJoules = m.h.Energy().Joules()
+	m.on = true
+	m.everOn = true
+	f.poweredOn++
+	return nil
+}
+
+// rollup folds a powered-on machine's energy since the last rollup into
+// the current interval.
+func (f *Fleet) rollup(m *machine) {
+	j := m.h.Energy().Joules()
+	f.iv.Joules += j - m.prevJoules
+	m.prevJoules = j
+}
+
+// machineStates builds the policy view. onlyOn restricts to powered-on
+// machines; exclude (when >= 0) drops one machine (the consolidation
+// victim).
+func (f *Fleet) machineStates(onlyOn bool, exclude int) []MachineState {
+	states := f.statesBuf[:0]
+	for i, m := range f.machines {
+		if i == exclude || (onlyOn && !m.on) {
+			continue
+		}
+		states = append(states, MachineState{
+			Index:          i,
+			Class:          f.cfg.Machines[m.class].Name,
+			On:             m.on,
+			FreeMemMB:      m.spec.MemoryMB - m.memUsed,
+			FreeCreditPct:  m.capacityPct() - m.creditUsed,
+			OfferedLoadPct: m.offeredPct,
+			Profile:        m.spec.Profile,
+		})
+	}
+	f.statesBuf = states
+	return states
+}
+
+// arrive handles one trace arrival: the policy picks a machine, the
+// machine (powered on if needed) synchronizes to the present, and the VM
+// attaches with its demand profile.
+func (f *Fleet) arrive(ev *VMEvent) error {
+	class := f.trace.Classes[ev.Class]
+	req := Request{
+		Name:         ev.Name,
+		CreditPct:    class.CreditPct,
+		MemoryMB:     class.MemoryMB,
+		MeanActivity: ev.Activity,
+	}
+	idx, ok := f.cfg.Policy.Place(f.machineStates(false, -1), req)
+	if !ok {
+		f.rejected++
+		f.iv.Rejected++
+		return nil
+	}
+	m, err := f.checkPlacement(idx, req, false)
+	if err != nil {
+		return err
+	}
+	if err := f.powerOn(m); err != nil {
+		return err
+	}
+	if err := f.sync(m); err != nil {
+		return err
+	}
+
+	wl, err := workload.NewWebApp(workload.WebAppConfig{
+		Phases:        ev.demandPhases(class, f.horizon),
+		Deterministic: f.cfg.DeterministicArrivals,
+		MaxBacklog:    -1, // unbounded: unserved demand stays visible to the SLA
+		Seed:          f.cfg.Seed + uint64(f.arrived)*0x9e3779b97f4a7c15 + 1,
+	})
+	if err != nil {
+		return fmt.Errorf("fleet: VM %s workload: %w", ev.Name, err)
+	}
+	guest, err := vm.New(m.nextID, vm.Config{Name: ev.Name, Credit: class.CreditPct})
+	if err != nil {
+		return fmt.Errorf("fleet: VM %s: %w", ev.Name, err)
+	}
+	m.nextID++
+	guest.SetWorkload(wl)
+	if err := m.h.AddVM(guest); err != nil {
+		return fmt.Errorf("fleet: VM %s on machine %d: %w", ev.Name, idx, err)
+	}
+	m.memUsed += req.MemoryMB
+	m.creditUsed += req.CreditPct
+	m.offeredPct += req.CreditPct * req.MeanActivity
+	m.vmCount++
+
+	p := &placedVM{req: req, class: ev.Class, machine: idx, guest: guest, wl: wl, arrive: f.now}
+	f.vms[ev.Name] = p
+	f.order = append(f.order, p)
+	if depart := ev.Arrive + ev.Lifetime; depart < f.horizon {
+		heap.Push(&f.departQ, timedName{at: depart, name: ev.Name})
+	}
+	f.arrived++
+	f.iv.Arrivals++
+	return nil
+}
+
+// checkPlacement validates a policy decision, turning a bad pick into a
+// diagnosable error instead of silent misaccounting.
+func (f *Fleet) checkPlacement(idx int, req Request, migrating bool) (*machine, error) {
+	kind := "place"
+	if migrating {
+		kind = "migrate"
+	}
+	if idx < 0 || idx >= len(f.machines) {
+		return nil, fmt.Errorf("fleet: policy %s: %s %s on machine %d: out of range [0,%d)",
+			f.cfg.Policy.Name(), kind, req.Name, idx, len(f.machines))
+	}
+	m := f.machines[idx]
+	if migrating && !m.on {
+		return nil, fmt.Errorf("fleet: policy %s: %s %s on machine %d: machine is powered off",
+			f.cfg.Policy.Name(), kind, req.Name, idx)
+	}
+	if m.spec.MemoryMB-m.memUsed < req.MemoryMB {
+		return nil, fmt.Errorf("fleet: policy %s: %s %s on machine %d: memory %d+%d > %d MB",
+			f.cfg.Policy.Name(), kind, req.Name, idx, m.memUsed, req.MemoryMB, m.spec.MemoryMB)
+	}
+	if m.capacityPct()-m.creditUsed < req.CreditPct {
+		return nil, fmt.Errorf("fleet: policy %s: %s %s on machine %d: credit %v+%v > %v%%",
+			f.cfg.Policy.Name(), kind, req.Name, idx, m.creditUsed, req.CreditPct, m.capacityPct())
+	}
+	return m, nil
+}
+
+// depart removes a VM at the end of its lifetime, folding its final SLA
+// deltas into the current interval. A VM departing mid-migration aborts
+// the pre-copy and releases the target reservation.
+func (f *Fleet) depart(name string) error {
+	p, ok := f.vms[name]
+	if !ok || p.gone {
+		return fmt.Errorf("fleet: departure of unknown VM %q", name)
+	}
+	if p.mig != nil {
+		f.abortMigration(p)
+	}
+	m := f.machines[p.machine]
+	if err := f.sync(m); err != nil {
+		return err
+	}
+	if err := m.h.RemoveVM(p.guest.ID()); err != nil {
+		return fmt.Errorf("fleet: depart %s: %w", name, err)
+	}
+	m.memUsed -= p.req.MemoryMB
+	m.creditUsed -= p.req.CreditPct
+	m.offeredPct -= p.req.CreditPct * p.req.MeanActivity
+	m.vmCount--
+	f.foldVM(p)
+	f.recordOutcome(p, true)
+	p.gone = true
+	delete(f.vms, name)
+	f.departed++
+	f.iv.Departures++
+	return nil
+}
+
+// tickVM integrates the VM's workload bookkeeping up to its host's
+// clock before the fleet reads it. Batched host stretches skip workload
+// Ticks (the batching certification proves nothing arrives inside
+// them), so the pending-work reading would otherwise lag behind the
+// host clock; ticking here is idempotent and keeps batched and
+// reference runs reporting identical demand.
+func (f *Fleet) tickVM(p *placedVM) {
+	p.wl.Tick(f.machines[p.machine].h.Now())
+}
+
+// foldVM folds a VM's demanded/attained work since the last fold into
+// the current interval. The VM's machine must be synchronized.
+func (f *Fleet) foldVM(p *placedVM) {
+	f.tickVM(p)
+	d, a := p.demanded(), p.wl.CompletedWork()
+	f.iv.DemandedWork += d - p.prevDemanded
+	f.iv.AttainedWork += a - p.prevAttained
+	p.prevDemanded, p.prevAttained = d, a
+}
+
+// recordOutcome appends the VM's final per-VM SLA record.
+func (f *Fleet) recordOutcome(p *placedVM, departed bool) {
+	f.tickVM(p)
+	d, a := p.demanded(), p.wl.CompletedWork()
+	f.rep.PerVM = append(f.rep.PerVM, VMOutcome{
+		Name:         p.req.Name,
+		Class:        p.class,
+		Machine:      p.machine,
+		ArriveS:      p.arrive.Seconds(),
+		DepartS:      f.now.Seconds(),
+		Departed:     departed,
+		DemandedWork: d,
+		AttainedWork: a,
+		SLA:          slaOf(a, d),
+	})
+}
+
+// slaOf is attained/demanded, defined as 1 when nothing was demanded.
+func slaOf(attained, demanded float64) float64 {
+	if demanded <= 0 {
+		return 1
+	}
+	sla := attained / demanded
+	if sla > 1 {
+		sla = 1
+	}
+	return sla
+}
+
+// consolidate tries to empty the least-offered-load machine through live
+// migrations chosen by the policy. Only machines already carrying load
+// are eligible targets — moving a victim's VMs onto an empty machine
+// cannot reduce the active count, it just ping-pongs the load. Rounds
+// are skipped while migrations are in flight, and abandoned (without
+// partial moves) when the victim cannot be fully emptied — a partial
+// move cannot free a machine.
+func (f *Fleet) consolidate() error {
+	// f.migs is the exact in-flight census: completions and aborts both
+	// delete from it, while canceled entries linger in the migQ heap
+	// until their original completion time pops.
+	if len(f.migs) > 0 {
+		return nil
+	}
+	victim, loaded := -1, 0
+	for i, m := range f.machines {
+		if !m.on || m.vmCount == 0 || m.inbound > 0 {
+			continue
+		}
+		loaded++
+		if victim < 0 || m.offeredPct < f.machines[victim].offeredPct {
+			victim = i
+		}
+	}
+	if victim < 0 || loaded < 2 {
+		return nil
+	}
+	var moving []*placedVM
+	for _, p := range f.order {
+		if !p.gone && p.machine == victim && p.mig == nil {
+			moving = append(moving, p)
+		}
+	}
+	if len(moving) == 0 {
+		return nil
+	}
+	// Tentative placement against a scratch copy of the state, restricted
+	// to loaded machines, largest memory first (the classic FFD order).
+	var states []MachineState
+	for _, st := range f.machineStates(true, victim) {
+		if m := f.machines[st.Index]; m.vmCount > 0 || m.inbound > 0 {
+			states = append(states, st)
+		}
+	}
+	sort.Slice(moving, func(i, j int) bool {
+		if moving[i].req.MemoryMB != moving[j].req.MemoryMB {
+			return moving[i].req.MemoryMB > moving[j].req.MemoryMB
+		}
+		return moving[i].req.Name < moving[j].req.Name
+	})
+	type move struct {
+		p  *placedVM
+		to int
+	}
+	var plan []move
+	for _, p := range moving {
+		idx, ok := f.cfg.Policy.Place(states, p.req)
+		if !ok {
+			return nil // victim cannot be emptied this round
+		}
+		found := false
+		for si := range states {
+			if states[si].Index == idx {
+				if !states[si].On || !states[si].Fits(p.req) {
+					return f.placementError(idx, p.req)
+				}
+				states[si].FreeMemMB -= p.req.MemoryMB
+				states[si].FreeCreditPct -= p.req.CreditPct
+				states[si].OfferedLoadPct += p.req.CreditPct * p.req.MeanActivity
+				found = true
+				break
+			}
+		}
+		if !found {
+			return f.placementError(idx, p.req)
+		}
+		plan = append(plan, move{p: p, to: idx})
+	}
+	for _, mv := range plan {
+		if _, err := f.checkPlacement(mv.to, mv.p.req, true); err != nil {
+			return err
+		}
+		dst := f.machines[mv.to]
+		dst.memUsed += mv.p.req.MemoryMB
+		dst.creditUsed += mv.p.req.CreditPct
+		dst.offeredPct += mv.p.req.CreditPct * mv.p.req.MeanActivity
+		dst.inbound++
+		dur := sim.FromSeconds(float64(mv.p.req.MemoryMB) / f.cfg.MigrationBandwidthMBps)
+		mg := &migration{name: mv.p.req.Name, from: victim, to: mv.to, done: f.now + dur}
+		mv.p.mig = mg
+		f.migs[mg.name] = mg
+		heap.Push(&f.migQ, timedName{at: mg.done, name: mg.name})
+	}
+	return nil
+}
+
+// placementError reports a consolidation pick the fleet state disagrees
+// with.
+func (f *Fleet) placementError(idx int, req Request) error {
+	return fmt.Errorf("fleet: policy %s: migrate %s to machine %d: not an eligible target",
+		f.cfg.Policy.Name(), req.Name, idx)
+}
+
+// abortMigration cancels an in-flight migration (the VM is departing),
+// releasing the target-side reservation. The queued completion entry
+// stays in the heap and is skipped when it pops.
+func (f *Fleet) abortMigration(p *placedVM) {
+	mg := p.mig
+	mg.canceled = true
+	dst := f.machines[mg.to]
+	dst.memUsed -= p.req.MemoryMB
+	dst.creditUsed -= p.req.CreditPct
+	dst.offeredPct -= p.req.CreditPct * p.req.MeanActivity
+	dst.inbound--
+	p.mig = nil
+	delete(f.migs, mg.name)
+}
+
+// completeMigration finishes one due migration: the guest detaches from
+// the source and a fresh guest with the same (still-running) workload
+// attaches to the target, whose reservation becomes real usage.
+func (f *Fleet) completeMigration(name string) error {
+	mg, ok := f.migs[name]
+	if !ok || mg.canceled {
+		return nil // aborted by a departure
+	}
+	delete(f.migs, name)
+	p := f.vms[name]
+	src, dst := f.machines[mg.from], f.machines[mg.to]
+	if err := f.sync(src); err != nil {
+		return err
+	}
+	if err := f.sync(dst); err != nil {
+		return err
+	}
+	if err := src.h.RemoveVM(p.guest.ID()); err != nil {
+		return fmt.Errorf("fleet: migrate %s: %w", name, err)
+	}
+	src.memUsed -= p.req.MemoryMB
+	src.creditUsed -= p.req.CreditPct
+	src.offeredPct -= p.req.CreditPct * p.req.MeanActivity
+	src.vmCount--
+	guest, err := vm.New(dst.nextID, vm.Config{Name: name, Credit: p.req.CreditPct})
+	if err != nil {
+		return fmt.Errorf("fleet: migrate %s: %w", name, err)
+	}
+	dst.nextID++
+	guest.SetWorkload(p.wl)
+	if err := dst.h.AddVM(guest); err != nil {
+		return fmt.Errorf("fleet: migrate %s to machine %d: %w", name, mg.to, err)
+	}
+	dst.inbound--
+	dst.vmCount++
+	p.guest = guest
+	p.machine = mg.to
+	p.mig = nil
+	f.migrated++
+	f.iv.Migrations++
+	return nil
+}
+
+// reportBarrier synchronizes every powered-on machine to t (concurrently
+// on the worker pool), rolls energy and SLA into one interval sample,
+// and powers off machines that ended up empty.
+func (f *Fleet) reportBarrier(t sim.Time) error {
+	tasks := f.tasksBuf[:0]
+	for _, m := range f.machines {
+		if !m.on || m.h.Now() >= t {
+			continue
+		}
+		m := m
+		tasks = append(tasks, func() error { return m.h.RunUntil(t) })
+	}
+	if err := engine.RunParallel(f.cfg.Workers, tasks); err != nil {
+		return err
+	}
+	f.tasksBuf = tasks[:0]
+
+	active := 0
+	for _, m := range f.machines {
+		if m.on {
+			active++
+			f.rollup(m)
+		}
+	}
+	live := f.order[:0]
+	for _, p := range f.order {
+		if p.gone {
+			continue
+		}
+		f.foldVM(p)
+		live = append(live, p)
+	}
+	for i := len(live); i < len(f.order); i++ {
+		f.order[i] = nil
+	}
+	f.order = live
+
+	f.iv.TimeS = t.Seconds()
+	f.iv.ActiveMachines = active
+	f.iv.LiveVMs = len(live)
+	f.iv.SLA = slaOf(f.iv.AttainedWork, f.iv.DemandedWork)
+	if dt := (t - f.lastSample).Seconds(); dt > 0 {
+		f.iv.AvgPowerW = f.iv.Joules / dt
+	}
+	f.rep.Intervals = append(f.rep.Intervals, f.iv)
+	f.joules += f.iv.Joules
+	f.demanded += f.iv.DemandedWork
+	f.attained += f.iv.AttainedWork
+	f.lastSample = t
+	f.iv = Interval{}
+
+	// Power off machines the departures emptied (their energy up to the
+	// barrier was already rolled up above). Keeping them on until the
+	// barrier is the fleet's power-off grace period.
+	for _, m := range f.machines {
+		if m.on && m.vmCount == 0 && m.inbound == 0 {
+			m.on = false
+			f.poweredOff++
+		}
+	}
+	return nil
+}
+
+// finalize records the still-live VMs and assembles the summary.
+func (f *Fleet) finalize() {
+	for _, p := range f.order {
+		if !p.gone {
+			f.recordOutcome(p, false)
+		}
+	}
+	sched := "fix-credit"
+	if f.cfg.UsePAS {
+		sched = "pas"
+	}
+	s := Summary{
+		Policy:    f.cfg.Policy.Name(),
+		Scheduler: sched,
+		Machines:  len(f.machines),
+		HorizonS:  f.horizon.Seconds(),
+		Arrived:   f.arrived,
+		Departed:  f.departed,
+		Rejected:  f.rejected,
+		Migrated:  f.migrated,
+		PowerOns:  f.poweredOn,
+		PowerOffs: f.poweredOff,
+
+		TotalJoules: f.joules,
+		OverallSLA:  slaOf(f.attained, f.demanded),
+	}
+	for _, m := range f.machines {
+		if m.everOn {
+			s.EverPoweredOn++
+		}
+		s.BatchedQuanta += m.h.Engine().BatchedQuanta()
+		s.SteppedQuanta += m.h.Engine().SteppedQuanta()
+	}
+	sumDt, sumActive := 0.0, 0.0
+	prev := 0.0
+	for _, iv := range f.rep.Intervals {
+		dt := iv.TimeS - prev
+		prev = iv.TimeS
+		sumDt += dt
+		sumActive += float64(iv.ActiveMachines) * dt
+		if iv.ActiveMachines > s.PeakActiveMachines {
+			s.PeakActiveMachines = iv.ActiveMachines
+		}
+	}
+	if sumDt > 0 {
+		s.MeanActiveMachines = sumActive / sumDt
+		s.MeanPowerW = f.joules / sumDt
+	}
+	n := 0
+	s.MinVMSLA = 1
+	for _, o := range f.rep.PerVM {
+		s.MeanVMSLA += o.SLA
+		if o.SLA < s.MinVMSLA {
+			s.MinVMSLA = o.SLA
+		}
+		if o.SLA < 0.95 {
+			s.VMsBelow95++
+		}
+		n++
+	}
+	if n > 0 {
+		s.MeanVMSLA /= float64(n)
+	} else {
+		s.MeanVMSLA = 1
+	}
+	f.rep.Summary = s
+}

@@ -1,0 +1,249 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"pasched/internal/sim"
+	"pasched/internal/workload"
+)
+
+// ClassMix is one VM class with its share of the generated population.
+type ClassMix struct {
+	Class VMClass
+	// Weight is the relative frequency of the class; weights need not sum
+	// to anything in particular.
+	Weight float64
+}
+
+// DefaultClassMix is a typical hosting estate: many small mostly-idle
+// services, fewer medium ones, a handful of large busy VMs.
+func DefaultClassMix() []ClassMix {
+	return []ClassMix{
+		{Class: VMClass{Name: "small", CreditPct: 10, MemoryMB: 1024}, Weight: 6},
+		{Class: VMClass{Name: "medium", CreditPct: 20, MemoryMB: 2048}, Weight: 3},
+		{Class: VMClass{Name: "large", CreditPct: 40, MemoryMB: 4096}, Weight: 1},
+	}
+}
+
+// GenConfig configures the synthetic trace generator.
+type GenConfig struct {
+	// Seed seeds the generator; the same seed yields the same trace.
+	Seed uint64
+	// Arrivals is the number of VM lifecycles to generate. Required.
+	Arrivals int
+	// Horizon bounds arrival times: VMs arrive in [0, Horizon). Required.
+	Horizon sim.Time
+	// Classes is the class mix; default DefaultClassMix.
+	Classes []ClassMix
+	// MeanLifetime is the mean VM lifetime. Lifetimes are heavy-tailed
+	// (bounded Pareto, alpha 1.5): most VMs are short-lived, a few run
+	// for a large multiple of the mean. Default Horizon/10.
+	MeanLifetime sim.Time
+	// MaxLifetime caps lifetimes; default 4 x Horizon.
+	MaxLifetime sim.Time
+	// DiurnalPeriod is the day length of the arrival-intensity and
+	// demand-activity waves; default Horizon/2.
+	DiurnalPeriod sim.Time
+	// DiurnalAmplitude in [0, 1) scales the waves: intensity and activity
+	// swing by this fraction around their means. Default 0.6.
+	DiurnalAmplitude float64
+	// BaseActivity is the mean fraction of its credit a VM demands;
+	// default 0.5.
+	BaseActivity float64
+	// SegmentLen is the length of one demand-profile segment; each VM's
+	// profile is piecewise-constant over segments of this length,
+	// modulated by the diurnal wave plus per-segment jitter. Default 60 s
+	// (0 keeps the default; negative disables segmentation, producing a
+	// single constant-rate phase per VM).
+	SegmentLen sim.Time
+}
+
+// withDefaults validates and fills the generator defaults.
+func (cfg GenConfig) withDefaults() (GenConfig, error) {
+	if cfg.Arrivals < 1 {
+		return cfg, fmt.Errorf("fleet: generator needs at least 1 arrival, got %d", cfg.Arrivals)
+	}
+	if cfg.Horizon <= 0 {
+		return cfg, fmt.Errorf("fleet: generator horizon %v not positive", cfg.Horizon)
+	}
+	if cfg.Horizon > sim.FromSeconds(maxTraceSeconds) {
+		return cfg, fmt.Errorf("fleet: generator horizon %v beyond %g s", cfg.Horizon, maxTraceSeconds)
+	}
+	if len(cfg.Classes) == 0 {
+		cfg.Classes = DefaultClassMix()
+	}
+	total := 0.0
+	for _, m := range cfg.Classes {
+		if err := m.Class.Validate(); err != nil {
+			return cfg, err
+		}
+		if m.Weight < 0 {
+			return cfg, fmt.Errorf("fleet: class %s has negative weight %v", m.Class.Name, m.Weight)
+		}
+		total += m.Weight
+	}
+	if total <= 0 {
+		return cfg, fmt.Errorf("fleet: class mix has no positive weight")
+	}
+	if cfg.MeanLifetime == 0 {
+		cfg.MeanLifetime = cfg.Horizon / 10
+	}
+	if cfg.MeanLifetime <= 0 {
+		return cfg, fmt.Errorf("fleet: mean lifetime %v not positive", cfg.MeanLifetime)
+	}
+	if cfg.MaxLifetime == 0 {
+		cfg.MaxLifetime = 4 * cfg.Horizon
+		if m := 4 * cfg.MeanLifetime; m > cfg.MaxLifetime {
+			cfg.MaxLifetime = m
+		}
+	}
+	if cfg.MaxLifetime < cfg.MeanLifetime {
+		return cfg, fmt.Errorf("fleet: max lifetime %v below mean %v", cfg.MaxLifetime, cfg.MeanLifetime)
+	}
+	if cfg.DiurnalPeriod == 0 {
+		cfg.DiurnalPeriod = cfg.Horizon / 2
+	}
+	if cfg.DiurnalPeriod <= 0 {
+		return cfg, fmt.Errorf("fleet: diurnal period %v not positive", cfg.DiurnalPeriod)
+	}
+	if cfg.DiurnalAmplitude == 0 {
+		cfg.DiurnalAmplitude = 0.6
+	}
+	if cfg.DiurnalAmplitude < 0 || cfg.DiurnalAmplitude >= 1 {
+		return cfg, fmt.Errorf("fleet: diurnal amplitude %v outside [0,1)", cfg.DiurnalAmplitude)
+	}
+	if cfg.BaseActivity == 0 {
+		cfg.BaseActivity = 0.5
+	}
+	if cfg.BaseActivity < 0 || cfg.BaseActivity > 1 {
+		return cfg, fmt.Errorf("fleet: base activity %v outside [0,1]", cfg.BaseActivity)
+	}
+	if cfg.SegmentLen == 0 {
+		cfg.SegmentLen = 60 * sim.Second
+	}
+	return cfg, nil
+}
+
+// paretoAlpha is the heavy-tail exponent of the lifetime distribution.
+// Alpha in (1, 2) has a finite mean but infinite variance — the shape
+// cloud VM lifetime studies report (most VMs short-lived, a fat tail of
+// long-runners).
+const paretoAlpha = 1.5
+
+// Generate builds a synthetic VM lifecycle trace: arrivals follow a
+// diurnal intensity wave over the horizon, lifetimes are heavy-tailed
+// around the configured mean, classes are drawn from the weighted mix,
+// and every VM carries a piecewise demand profile modulated by the same
+// diurnal wave plus per-segment jitter. The trace is deterministic in the
+// seed.
+func Generate(cfg GenConfig) (*Trace, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(cfg.Seed)
+	t := &Trace{Classes: make(map[string]VMClass, len(cfg.Classes)), Horizon: cfg.Horizon}
+	totalWeight := 0.0
+	for _, m := range cfg.Classes {
+		t.Classes[m.Class.Name] = m.Class
+		totalWeight += m.Weight
+	}
+
+	diurnal := func(at sim.Time) float64 {
+		return 1 + cfg.DiurnalAmplitude*math.Sin(2*math.Pi*at.Seconds()/cfg.DiurnalPeriod.Seconds())
+	}
+	width := len(fmt.Sprintf("%d", cfg.Arrivals))
+	for i := 0; i < cfg.Arrivals; i++ {
+		// Arrival time by rejection sampling against the diurnal
+		// intensity: uniform proposals accepted with probability
+		// proportional to the intensity at the proposed time.
+		var arrive sim.Time
+		for {
+			arrive = sim.Time(rng.Float64() * float64(cfg.Horizon))
+			if rng.Float64()*(1+cfg.DiurnalAmplitude) <= diurnal(arrive) {
+				break
+			}
+		}
+
+		// Bounded Pareto lifetime with mean MeanLifetime (for the
+		// unbounded distribution): x_m = mean * (alpha-1)/alpha.
+		xm := float64(cfg.MeanLifetime) * (paretoAlpha - 1) / paretoAlpha
+		u := rng.Float64()
+		life := sim.Time(xm * math.Pow(1-u, -1/paretoAlpha))
+		if life > cfg.MaxLifetime {
+			life = cfg.MaxLifetime
+		}
+		if life < sim.Millisecond {
+			life = sim.Millisecond
+		}
+
+		// Weighted class pick.
+		pick := rng.Float64() * totalWeight
+		class := cfg.Classes[len(cfg.Classes)-1].Class
+		for _, m := range cfg.Classes {
+			if pick < m.Weight {
+				class = m.Class
+				break
+			}
+			pick -= m.Weight
+		}
+
+		ev := VMEvent{
+			Name:     fmt.Sprintf("vm%0*d", width, i),
+			Class:    class.Name,
+			Arrive:   arrive,
+			Lifetime: life,
+		}
+		ev.Activity, ev.Demand = demandProfile(cfg, rng, class, arrive, arrive+life, diurnal)
+		t.Events = append(t.Events, ev)
+	}
+	t.sortEvents()
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("fleet: generated trace invalid: %w", err)
+	}
+	return t, nil
+}
+
+// demandProfile builds one VM's piecewise demand: segments of SegmentLen
+// whose activity follows the diurnal wave with per-segment jitter. It
+// returns the mean activity (the scalar the CSV format carries) and the
+// phases.
+func demandProfile(cfg GenConfig, rng *sim.RNG, class VMClass, start, end sim.Time,
+	diurnal func(sim.Time) float64) (float64, []workload.Phase) {
+	if end <= start {
+		return 0, nil
+	}
+	var phases []workload.Phase
+	sumAct, sumDur := 0.0, 0.0
+	seg := cfg.SegmentLen
+	if seg < 0 {
+		seg = end - start
+	}
+	for at := start; at < end; at += seg {
+		segEnd := at + seg
+		if segEnd > end {
+			segEnd = end
+		}
+		jitter := 0.75 + 0.5*rng.Float64()
+		act := cfg.BaseActivity * diurnal(at) * jitter / (1 + cfg.DiurnalAmplitude)
+		if act > 1 {
+			act = 1
+		}
+		if act < 0 {
+			act = 0
+		}
+		rate := workload.ExactRate(ReferenceThroughput, class.CreditPct*act, workload.DefaultRequestCost)
+		if rate > 0 {
+			phases = append(phases, workload.Phase{Start: at, End: segEnd, Rate: rate})
+		}
+		dur := (segEnd - at).Seconds()
+		sumAct += act * dur
+		sumDur += dur
+	}
+	mean := 0.0
+	if sumDur > 0 {
+		mean = sumAct / sumDur
+	}
+	return mean, phases
+}

@@ -1,0 +1,131 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pasched/internal/metrics"
+)
+
+// Interval is one reporting-barrier sample: what happened in the
+// interval ending at TimeS.
+type Interval struct {
+	// TimeS is the end of the interval in simulated seconds.
+	TimeS float64 `json:"time_s"`
+	// Joules is the energy consumed by powered-on machines during the
+	// interval.
+	Joules float64 `json:"joules"`
+	// AvgPowerW is Joules over the interval length.
+	AvgPowerW float64 `json:"avg_power_w"`
+	// ActiveMachines is the number of powered-on machines at the barrier
+	// (before the barrier's power-offs).
+	ActiveMachines int `json:"active_machines"`
+	// LiveVMs is the number of VMs resident at the barrier.
+	LiveVMs int `json:"live_vms"`
+	// Arrivals, Departures, Rejected and Migrations count the interval's
+	// lifecycle activity.
+	Arrivals   int `json:"arrivals"`
+	Departures int `json:"departures"`
+	Rejected   int `json:"rejected"`
+	Migrations int `json:"migrations"`
+	// DemandedWork and AttainedWork are the interval's SLA numerator and
+	// denominator in work units, summed over every VM present.
+	DemandedWork float64 `json:"demanded_work"`
+	AttainedWork float64 `json:"attained_work"`
+	// SLA is AttainedWork/DemandedWork (1 when nothing was demanded).
+	SLA float64 `json:"sla"`
+}
+
+// VMOutcome is one VM's final SLA record.
+type VMOutcome struct {
+	Name    string  `json:"name"`
+	Class   string  `json:"class"`
+	Machine int     `json:"machine"` // final hosting machine
+	ArriveS float64 `json:"arrive_s"`
+	DepartS float64 `json:"depart_s"` // departure, or the horizon for still-live VMs
+	// Departed is false for VMs still resident at the horizon.
+	Departed     bool    `json:"departed"`
+	DemandedWork float64 `json:"demanded_work"`
+	AttainedWork float64 `json:"attained_work"`
+	SLA          float64 `json:"sla"`
+}
+
+// Summary is the cluster-level outcome of one fleet run.
+type Summary struct {
+	Policy    string  `json:"policy"`
+	Scheduler string  `json:"scheduler"` // "pas" or "fix-credit"
+	Machines  int     `json:"machines"`
+	HorizonS  float64 `json:"horizon_s"`
+
+	Arrived  int `json:"arrived"`
+	Departed int `json:"departed"`
+	Rejected int `json:"rejected"`
+	Migrated int `json:"migrated"`
+
+	EverPoweredOn      int     `json:"ever_powered_on"`
+	PowerOns           int     `json:"power_ons"`
+	PowerOffs          int     `json:"power_offs"`
+	PeakActiveMachines int     `json:"peak_active_machines"`
+	MeanActiveMachines float64 `json:"mean_active_machines"`
+
+	TotalJoules float64 `json:"total_joules"`
+	MeanPowerW  float64 `json:"mean_power_w"`
+
+	OverallSLA float64 `json:"overall_sla"`
+	MeanVMSLA  float64 `json:"mean_vm_sla"`
+	MinVMSLA   float64 `json:"min_vm_sla"`
+	VMsBelow95 int     `json:"vms_below_95pct"`
+
+	// BatchedQuanta and SteppedQuanta aggregate the engines'
+	// introspection across machines: how much of the run the
+	// event-horizon fast path covered.
+	BatchedQuanta int64 `json:"batched_quanta"`
+	SteppedQuanta int64 `json:"stepped_quanta"`
+}
+
+// Report is the full outcome: the summary, the per-interval curves and
+// the per-VM SLA records.
+type Report struct {
+	Summary   Summary     `json:"summary"`
+	Intervals []Interval  `json:"intervals"`
+	PerVM     []VMOutcome `json:"per_vm"`
+}
+
+// IntervalSeries renders the interval curves as named metric series
+// (energy, active machines, live VMs, SLA, migrations) sharing the
+// interval end times, ready for metrics.WriteCSV or the ASCII charts.
+func (r *Report) IntervalSeries() []*metrics.Series {
+	joules := metrics.NewSeries("joules")
+	power := metrics.NewSeries("avg_power_w")
+	active := metrics.NewSeries("active_machines")
+	live := metrics.NewSeries("live_vms")
+	sla := metrics.NewSeries("sla")
+	migr := metrics.NewSeries("migrations")
+	rej := metrics.NewSeries("rejected")
+	for _, iv := range r.Intervals {
+		joules.Add(iv.TimeS, iv.Joules)
+		power.Add(iv.TimeS, iv.AvgPowerW)
+		active.Add(iv.TimeS, float64(iv.ActiveMachines))
+		live.Add(iv.TimeS, float64(iv.LiveVMs))
+		sla.Add(iv.TimeS, iv.SLA)
+		migr.Add(iv.TimeS, float64(iv.Migrations))
+		rej.Add(iv.TimeS, float64(iv.Rejected))
+	}
+	return []*metrics.Series{joules, power, active, live, sla, migr, rej}
+}
+
+// WriteCSV writes the interval curves as CSV with a shared time column.
+func (r *Report) WriteCSV(w io.Writer) error {
+	return metrics.WriteCSV(w, r.IntervalSeries()...)
+}
+
+// WriteJSON writes the whole report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("fleet: write report: %w", err)
+	}
+	return nil
+}

@@ -77,6 +77,10 @@ type Config struct {
 	// worker count. Zero selects GOMAXPROCS; 1 forces sequential
 	// stepping.
 	Workers int
+	// Reference forces every core onto the reference quantum-by-quantum
+	// stepping path (host.Config.Reference), the baseline the cluster's
+	// batched==reference equivalence tests compare against.
+	Reference bool
 }
 
 // coreState is one core: a single-core host plus coordination state.
@@ -143,7 +147,7 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("multicore: core %d: %w", i, err)
 		}
 		credit := sched.NewCredit(sched.CreditConfig{})
-		h, err := host.New(host.Config{CPU: cpu, Scheduler: credit})
+		h, err := host.New(host.Config{CPU: cpu, Scheduler: credit, Reference: cfg.Reference})
 		if err != nil {
 			return nil, fmt.Errorf("multicore: core %d: %w", i, err)
 		}

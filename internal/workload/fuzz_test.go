@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTrace hammers the load-trace parser with hostile input: the
+// parser must never panic, and every accepted trace must satisfy the
+// TraceWorkload invariants (sorted unique starts, finite non-negative
+// rates) and survive a replay.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("0,100\n10,50\n")
+	f.Add("# comment\n\n0,1\n")
+	f.Add("0,100\r\n10,50\r\n")      // CRLF
+	f.Add("10,50\n0,100\n")          // unsorted
+	f.Add("0,1\n0,2\n")              // duplicate start
+	f.Add("0\n")                     // missing field
+	f.Add("a,b\n")                   // not numbers
+	f.Add("0,-5\n")                  // negative rate
+	f.Add("-1,5\n")                  // negative time
+	f.Add("NaN,1\n")                 // NaN seconds
+	f.Add("0,NaN\n")                 // NaN rate
+	f.Add("0,+Inf\n")                // infinite rate
+	f.Add("1e300,1\n")               // seconds overflow
+	f.Add("0,1,2\n")                 // too many fields
+	f.Add("0 , 100 \n 10 ,50\n")     // stray spaces
+	f.Add(strings.Repeat("#x\n", 5)) // comments only
+
+	f.Fuzz(func(t *testing.T, input string) {
+		w, err := ParseTrace(strings.NewReader(input), 0)
+		if err != nil {
+			return
+		}
+		if len(w.points) == 0 {
+			t.Fatal("accepted trace has no points")
+		}
+		for i, p := range w.points {
+			if p.Start < 0 || p.Rate < 0 {
+				t.Fatalf("accepted point %d has negative field: %+v", i, p)
+			}
+			if p.Rate != p.Rate {
+				t.Fatalf("accepted point %d has NaN rate", i)
+			}
+			if i > 0 && p.Start <= w.points[i-1].Start {
+				t.Fatalf("accepted points not strictly sorted at %d", i)
+			}
+		}
+		// A parsed trace must be replayable without misbehaving.
+		w.Tick(w.points[len(w.points)-1].Start + 1)
+		if pending := w.Pending(); pending < 0 || pending != pending {
+			t.Fatalf("replay produced invalid pending %v", pending)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -52,11 +53,19 @@ func NewTraceWorkload(points []TracePoint, maxBacklog float64) (*TraceWorkload, 
 	return &TraceWorkload{points: cp, maxQueue: maxBacklog}, nil
 }
 
+// maxTraceSeconds bounds the seconds field of a parsed trace line,
+// keeping sim.FromSeconds far away from integer overflow on hostile
+// input (the parser is an external input surface; see the fuzz tests).
+const maxTraceSeconds = 1e9
+
 // ParseTrace reads a trace from r in "seconds,rate" CSV lines (comments
 // with '#', blank lines ignored). Rates are in work units per second.
+// Seconds must be finite, non-negative and at most 1e9; rates must be
+// finite and non-negative.
 func ParseTrace(r io.Reader, maxBacklog float64) (*TraceWorkload, error) {
 	var points []TracePoint
 	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	line := 0
 	for sc.Scan() {
 		line++
@@ -72,9 +81,17 @@ func ParseTrace(r io.Reader, maxBacklog float64) (*TraceWorkload, error) {
 		if err != nil {
 			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
 		}
+		if math.IsNaN(secs) || secs < 0 || secs > maxTraceSeconds {
+			return nil, fmt.Errorf("workload: trace line %d: seconds %v outside [0, %g]",
+				line, secs, float64(maxTraceSeconds))
+		}
 		rate, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
 		if err != nil {
 			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		if math.IsNaN(rate) || math.IsInf(rate, 0) || rate < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: rate %v not finite and non-negative",
+				line, rate)
 		}
 		points = append(points, TracePoint{Start: sim.FromSeconds(secs), Rate: rate})
 	}

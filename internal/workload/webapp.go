@@ -47,11 +47,23 @@ const DefaultRequestCost = 0.020 * 2667e6
 // WebApp is an open-loop queued request generator (the httperf + Joomla
 // substitute). Arrivals enqueue work; the VM drains the queue when
 // scheduled. The offered rate follows the configured phases.
+//
+// The arrival process is a per-phase renewal chain driven by an explicit
+// process cursor: the next arrival is always drawn from the previous
+// arrival (or the phase boundary the process last crossed), and a draw
+// that lands beyond its own phase's end is dropped at draw time, with
+// the process restarting at the boundary under the next phase's rate.
+// The chain therefore depends only on the configuration and the seed —
+// never on when Tick happens to be called — which is what lets the
+// simulation engine batch straight through it: NextChange's promise is
+// the exact next arrival.
 type WebApp struct {
 	cfg        WebAppConfig
 	rng        *sim.RNG
+	procT      sim.Time // renewal cursor: last arrival or crossed boundary
 	nextArr    sim.Time
 	haveNext   bool
+	exhausted  bool // no positive-rate phase remains past procT
 	lastTick   sim.Time
 	queue      float64
 	offered    int64   // requests offered
@@ -94,11 +106,13 @@ func NewWebApp(cfg WebAppConfig) (*WebApp, error) {
 	case maxBacklog < 0:
 		maxBacklog = 0 // unbounded
 	}
-	return &WebApp{
+	w := &WebApp{
 		cfg:        cfg,
 		rng:        sim.NewRNG(cfg.Seed),
 		maxBacklog: maxBacklog,
-	}, nil
+	}
+	w.advance()
+	return w, nil
 }
 
 // rateAt returns the offered request rate at time t.
@@ -111,54 +125,55 @@ func (w *WebApp) rateAt(t sim.Time) float64 {
 	return 0
 }
 
-// Tick implements Workload: it generates all arrivals in (lastTick, now].
+// Tick implements Workload: it delivers all arrivals in (lastTick, now].
 func (w *WebApp) Tick(now sim.Time) {
 	if now <= w.lastTick {
 		return
 	}
-	t := w.lastTick
-	for t < now {
-		rate := w.rateAt(t)
-		if rate <= 0 {
-			// Skip forward to the next phase boundary (or now).
-			t = w.nextBoundary(t, now)
-			w.haveNext = false
-			continue
-		}
-		if !w.haveArrival() {
-			w.scheduleArrival(t, rate)
-		}
-		if w.nextArr > now {
-			break
-		}
-		// The arrival may fall past the current phase's end; if so, drop
-		// the tentative arrival and re-evaluate from the boundary.
-		if end := w.phaseEnd(t); w.nextArr >= end {
-			t = end
-			w.haveNext = false
-			continue
-		}
+	for w.haveNext && w.nextArr <= now {
 		w.arrive()
-		t = w.nextArr
+		w.procT = w.nextArr
 		w.haveNext = false
+		w.advance()
 	}
 	w.lastTick = now
 }
 
-func (w *WebApp) haveArrival() bool { return w.haveNext }
-
-func (w *WebApp) scheduleArrival(t sim.Time, rate float64) {
-	var gap float64 // seconds
-	if w.cfg.Deterministic {
-		gap = 1 / rate
-	} else {
-		gap = w.rng.ExpFloat64() / rate
+// advance draws from the renewal chain until an arrival lands inside its
+// own phase (or no positive-rate phase remains). Each unsuccessful draw
+// crosses a phase end and restarts the chain at that boundary, so the
+// loop makes progress through the (finite) phase list.
+func (w *WebApp) advance() {
+	for !w.haveNext && !w.exhausted {
+		rate := w.rateAt(w.procT)
+		if rate <= 0 {
+			start, ok := w.nextPositiveStart(w.procT)
+			if !ok {
+				w.exhausted = true
+				return
+			}
+			w.procT = start
+			continue
+		}
+		var gap float64 // seconds
+		if w.cfg.Deterministic {
+			gap = 1 / rate
+		} else {
+			gap = w.rng.ExpFloat64() / rate
+		}
+		cand := w.procT + sim.FromSeconds(gap)
+		if cand <= w.procT {
+			cand = w.procT + 1 // at least one microsecond apart
+		}
+		if end := w.phaseEnd(w.procT); cand >= end {
+			// The draw crossed its phase end: dropped, chain restarts at
+			// the boundary.
+			w.procT = end
+			continue
+		}
+		w.nextArr = cand
+		w.haveNext = true
 	}
-	w.nextArr = t + sim.FromSeconds(gap)
-	if w.nextArr <= t {
-		w.nextArr = t + 1 // at least one microsecond apart
-	}
-	w.haveNext = true
 }
 
 func (w *WebApp) phaseEnd(t sim.Time) sim.Time {
@@ -170,14 +185,16 @@ func (w *WebApp) phaseEnd(t sim.Time) sim.Time {
 	return t
 }
 
-func (w *WebApp) nextBoundary(t, limit sim.Time) sim.Time {
-	best := limit
+// nextPositiveStart returns the earliest positive-rate phase start
+// strictly after t.
+func (w *WebApp) nextPositiveStart(t sim.Time) (sim.Time, bool) {
+	best, ok := sim.Never, false
 	for _, ph := range w.cfg.Phases {
-		if ph.Start > t && ph.Start < best {
-			best = ph.Start
+		if ph.Rate > 0 && ph.Start > t && ph.Start < best {
+			best, ok = ph.Start, true
 		}
 	}
-	return best
+	return best, ok
 }
 
 func (w *WebApp) arrive() {
@@ -192,29 +209,17 @@ func (w *WebApp) arrive() {
 // Pending implements Workload.
 func (w *WebApp) Pending() float64 { return w.queue }
 
-// NextChange implements Forecaster. With an arrival already drawn, the
-// queue next changes at that arrival (possibly earlier if it falls past
-// its phase end and is dropped — stopping early is safe). Without one,
-// the next positive-rate phase start bounds the change; a positive-rate
-// phase overlapping the un-ticked span (lastTick, now] means arrivals may
-// already be due, so no promise is made.
-func (w *WebApp) NextChange(now sim.Time) sim.Time {
+// NextChange implements Forecaster. The renewal chain always holds the
+// exact next arrival (or is exhausted), independent of tick granularity,
+// so the promise is precise: the queue next changes at that arrival, or
+// never. An arrival at or before now is already due but not yet
+// delivered, which the engine treats as "cannot batch" and steps through
+// the reference path that Ticks it in.
+func (w *WebApp) NextChange(sim.Time) sim.Time {
 	if w.haveNext {
 		return w.nextArr
 	}
-	best := sim.Never
-	for _, ph := range w.cfg.Phases {
-		if ph.Rate <= 0 || ph.End <= w.lastTick {
-			continue
-		}
-		if ph.Start <= now {
-			return now
-		}
-		if ph.Start < best {
-			best = ph.Start
-		}
-	}
-	return best
+	return sim.Never
 }
 
 // Consume implements Workload.
