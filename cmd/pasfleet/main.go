@@ -38,7 +38,7 @@ func run(args []string, out, errOut io.Writer) int {
 		horizon     = fs.Float64("horizon", 600, "simulated horizon in seconds")
 		seed        = fs.Uint64("seed", 42, "trace and workload seed")
 		policyName  = fs.String("policy", "first-fit", "placement policy: first-fit, best-fit or dvfs-aware")
-		schedName   = fs.String("sched", "pas", "per-machine scheduler: pas or credit (fix-credit)")
+		schedName   = fs.String("sched", "pas", "per-machine scheduler: pas, credit (fix-credit) or credit2")
 		report      = fs.Float64("report", 30, "reporting interval in seconds")
 		consolidate = fs.Float64("consolidate", 120, "consolidation interval in seconds (0 disables)")
 		workers     = fs.Int("workers", 0, "parallel workers at reporting barriers (0 = GOMAXPROCS)")
@@ -86,19 +86,16 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, err)
 		return 1
 	}
-	usePAS := false
 	switch *schedName {
-	case "pas":
-		usePAS = true
-	case "credit", "fix-credit":
+	case "pas", "credit", "fix-credit", "credit2":
 	default:
-		fmt.Fprintf(errOut, "pasfleet: unknown scheduler %q (want pas or credit)\n", *schedName)
+		fmt.Fprintf(errOut, "pasfleet: unknown scheduler %q (want pas, credit or credit2)\n", *schedName)
 		return 1
 	}
 
 	fl, err := fleet.New(fleet.Config{
 		Machines:         fleet.DefaultEstate(*machines),
-		UsePAS:           usePAS,
+		Scheduler:        *schedName,
 		Policy:           policy,
 		ReportEvery:      sim.FromSeconds(*report),
 		ConsolidateEvery: sim.FromSeconds(*consolidate),

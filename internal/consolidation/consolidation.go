@@ -267,6 +267,11 @@ type HostOptions struct {
 	// second, keeping per-host recorder memory flat at thousands of
 	// machines. Zero keeps the host default.
 	SampleEvery sim.Time
+	// Scheduler overrides the usePAS choice with a scheduler by name:
+	// "pas", "credit" (fix-credit) or "credit2" (weight-proportional
+	// work-conserving, pinned at the maximum frequency like the
+	// fix-credit baseline). Empty defers to usePAS.
+	Scheduler string
 }
 
 // NewHostWithOptions is NewHost with the extra knobs of HostOptions.
@@ -275,27 +280,36 @@ func NewHostWithOptions(spec HostSpec, usePAS bool, opts HostOptions) (*host.Hos
 	if err != nil {
 		return nil, err
 	}
-	var h *host.Host
+	name := opts.Scheduler
+	if name == "" {
+		if usePAS {
+			name = "pas"
+		} else {
+			name = "credit"
+		}
+	}
+	var s sched.Scheduler
 	var pas *core.PAS
-	if usePAS {
+	switch name {
+	case "pas":
 		pas, err = core.NewPAS(core.PASConfig{CPU: cpu, CF: spec.Profile.EfficiencyTable()})
 		if err != nil {
 			return nil, err
 		}
-		h, err = host.New(host.Config{
-			CPU:            cpu,
-			Scheduler:      pas,
-			Reference:      opts.Reference,
-			SampleInterval: opts.SampleEvery,
-		})
-	} else {
-		h, err = host.New(host.Config{
-			CPU:            cpu,
-			Scheduler:      sched.NewCredit(sched.CreditConfig{}),
-			Reference:      opts.Reference,
-			SampleInterval: opts.SampleEvery,
-		})
+		s = pas
+	case "credit", "fix-credit":
+		s = sched.NewCredit(sched.CreditConfig{})
+	case "credit2":
+		s = sched.NewCredit2()
+	default:
+		return nil, fmt.Errorf("consolidation: unknown scheduler %q (pas, credit, credit2)", name)
 	}
+	h, err := host.New(host.Config{
+		CPU:            cpu,
+		Scheduler:      s,
+		Reference:      opts.Reference,
+		SampleInterval: opts.SampleEvery,
+	})
 	if err != nil {
 		return nil, err
 	}

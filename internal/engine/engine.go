@@ -177,10 +177,13 @@ func (e *Engine) SteppedQuanta() int64 { return e.stepped }
 //
 // Every RunUntil iteration counts exactly once, so the map is a census of
 // what to attack next when batching coverage stalls: a dominant
-// "machine-declined" count means the machine (typically its scheduler —
-// Credit2's per-pick vclock advance, for instance) cannot certify the
-// stretches the engine offers, while dominant engine-side sources mean
-// batching is already limited only by genuine discrete activity.
+// "machine-declined" count means the machine (typically its scheduler)
+// cannot certify the stretches the engine offers, while dominant
+// engine-side sources mean batching is already limited only by genuine
+// discrete activity. With every in-tree scheduler now certifying its
+// pattern, "machine-declined" should stay near zero in the stock
+// scenarios; a regression here is the first symptom of a scheduler losing
+// its certification.
 func (e *Engine) BoundarySources() map[string]int64 {
 	return map[string]int64{
 		"target":            e.sources.target,

@@ -60,6 +60,10 @@ type Config struct {
 	// (DVFS with credit compensation) or the fix-credit baseline pinned
 	// at the maximum frequency.
 	UsePAS bool
+	// Scheduler selects the per-machine scheduler by name — "pas",
+	// "credit" (fix-credit) or "credit2" (weight-proportional
+	// work-conserving) — overriding UsePAS. Empty defers to UsePAS.
+	Scheduler string
 	// Policy decides placement (and consolidation targets). Default
 	// first-fit.
 	Policy Policy
@@ -126,6 +130,20 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.Workers < 1 {
 		cfg.Workers = engine.DefaultWorkers()
+	}
+	switch cfg.Scheduler {
+	case "":
+		if cfg.UsePAS {
+			cfg.Scheduler = "pas"
+		} else {
+			cfg.Scheduler = "credit"
+		}
+	case "pas", "credit", "fix-credit", "credit2":
+		if cfg.UsePAS && cfg.Scheduler != "pas" {
+			return cfg, fmt.Errorf("fleet: UsePAS conflicts with scheduler %q", cfg.Scheduler)
+		}
+	default:
+		return cfg, fmt.Errorf("fleet: unknown scheduler %q (pas, credit, credit2)", cfg.Scheduler)
 	}
 	return cfg, nil
 }
@@ -286,6 +304,7 @@ func newMachineHost(spec consolidation.HostSpec, cfg Config) (*host.Host, error)
 	return consolidation.NewHostWithOptions(spec, cfg.UsePAS, consolidation.HostOptions{
 		Reference:   cfg.Reference,
 		SampleEvery: cfg.ReportEvery,
+		Scheduler:   cfg.Scheduler,
 	})
 }
 
@@ -873,9 +892,9 @@ func (f *Fleet) finalize() {
 			f.recordOutcome(p, false)
 		}
 	}
-	sched := "fix-credit"
-	if f.cfg.UsePAS {
-		sched = "pas"
+	sched := f.cfg.Scheduler
+	if sched == "credit" {
+		sched = "fix-credit" // keep the historical report name
 	}
 	s := Summary{
 		Policy:    f.cfg.Policy.Name(),

@@ -91,10 +91,11 @@ func relClose(a, b float64) bool {
 // lifecycle and machine counts bit-for-bit, energy- and work-derived
 // quantities to within float-summation noise.
 func TestFleetBatchedEquivalence(t *testing.T) {
-	for _, usePAS := range []bool{false, true} {
-		name := "fix-credit"
-		if usePAS {
-			name = "pas"
+	for _, scheduler := range []string{"credit", "pas", "credit2"} {
+		scheduler := scheduler
+		name := scheduler
+		if scheduler == "credit" {
+			name = "fix-credit"
 		}
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
@@ -105,7 +106,7 @@ func TestFleetBatchedEquivalence(t *testing.T) {
 			run := func(reference bool) (*Report, *Fleet) {
 				cfg := Config{
 					Machines:         testMachines(2, 1),
-					UsePAS:           usePAS,
+					Scheduler:        scheduler,
 					Policy:           NewFirstFit(),
 					ReportEvery:      10 * sim.Second,
 					ConsolidateEvery: 20 * sim.Second,

@@ -36,19 +36,22 @@ func benchHost(b *testing.B, s sched.Scheduler, bind func(h *host.Host)) *host.H
 }
 
 // BenchmarkHostStep measures the engine's event-horizon batching against
-// the reference quantum-by-quantum loop on the same fix-credit host: one
-// op advances one simulated second (1000 quanta). The batched/reference
-// ratio is the engine's speedup on hard-capped single-runnable stretches.
+// the reference quantum-by-quantum loop: one op advances one simulated
+// second (1000 quanta). The batched/reference ratio per scenario is the
+// engine's speedup — "batched"/"reference" on a hard-capped
+// single-runnable fix-credit host, the "credit2-contended" pair on a
+// three-hog Credit2 host whose smallest-vruntime merge must fold through
+// the pattern-certification path.
 func BenchmarkHostStep(b *testing.B) {
-	for _, mode := range []struct {
-		name      string
-		reference bool
-	}{{"batched", false}, {"reference", true}} {
-		b.Run(mode.name, func(b *testing.B) {
+	scenarios := []struct {
+		name  string
+		build func(b *testing.B, reference bool) *host.Host
+	}{
+		{"batched", func(b *testing.B, reference bool) *host.Host {
 			h, err := host.New(host.Config{
 				Profile:   cpufreq.Optiplex755(),
 				Scheduler: sched.NewCredit(sched.CreditConfig{}),
-				Reference: mode.reference,
+				Reference: reference,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -61,14 +64,57 @@ func BenchmarkHostStep(b *testing.B) {
 			if err := h.AddVM(v); err != nil {
 				b.Fatal(err)
 			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if err := h.Run(sim.Second); err != nil {
+			return h
+		}},
+		{"credit2-contended-batched", func(b *testing.B, reference bool) *host.Host {
+			h, err := host.New(host.Config{
+				Profile:   cpufreq.Optiplex755(),
+				Scheduler: sched.NewCredit2(),
+				Reference: reference,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i, credit := range []float64{20, 30, 40} {
+				v, err := vm.New(vm.ID(i+1), vm.Config{Credit: credit})
+				if err != nil {
+					b.Fatal(err)
+				}
+				v.SetWorkload(&workload.Hog{})
+				if err := h.AddVM(v); err != nil {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(float64(h.Engine().BatchedQuanta())/float64(b.N), "batched_quanta/op")
-		})
+			return h
+		}},
+	}
+	for _, sc := range scenarios {
+		for _, mode := range []struct {
+			name      string
+			reference bool
+		}{{"", false}, {"reference", true}} {
+			name := sc.name
+			if mode.reference {
+				// Keep the historical "batched"/"reference" pair names for
+				// the single-runnable scenario; the contended scenario uses
+				// a -batched/-reference suffix pair.
+				if name == "batched" {
+					name = "reference"
+				} else {
+					name = "credit2-contended-reference"
+				}
+			}
+			b.Run(name, func(b *testing.B) {
+				h := sc.build(b, mode.reference)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := h.Run(sim.Second); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(h.Engine().BatchedQuanta())/float64(b.N), "batched_quanta/op")
+			})
+		}
 	}
 }
 

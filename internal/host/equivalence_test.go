@@ -229,6 +229,55 @@ func equivalenceScenarios() []scenario {
 			},
 		},
 		{
+			// Contended Credit2 host: three hogs plus a web VM race on
+			// the smallest-vruntime merge, so batching must fold the
+			// closed-form weighted interleaving (the PatternBatcher path)
+			// instead of stepping quantum by quantum.
+			name: "credit2-contended",
+			build: func(t *testing.T, reference bool) *host.Host {
+				h, err := host.New(host.Config{
+					Profile:   prof,
+					Scheduler: sched.NewCredit2(),
+					Reference: reference,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				addVM(t, h, 1, "V20", 20, &workload.Hog{})
+				addVM(t, h, 2, "V30", 30, &workload.Hog{})
+				addVM(t, h, 3, "V40", 40, &workload.Hog{})
+				addVM(t, h, 4, "Vweb", 5, webApp(t, prof, 4, 10*sim.Second, 25*sim.Second))
+				return h
+			},
+		},
+		{
+			// Credit2 with churning occupancy: a finite pi job drains to
+			// idle, a web VM wakes and sleeps (exercising the maxLag
+			// clamp on re-entry to the merge), and a paused/resumed hog
+			// flips the runnable set mid-run.
+			name: "credit2-wakeups",
+			build: func(t *testing.T, reference bool) *host.Host {
+				h, err := host.New(host.Config{
+					Profile:   prof,
+					Scheduler: sched.NewCredit2(),
+					Reference: reference,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				pi, err := workload.NewPiApp(3e9)
+				if err != nil {
+					t.Fatal(err)
+				}
+				addVM(t, h, 1, "Vpi", 20, pi)
+				addVM(t, h, 2, "Vweb", 40, webApp(t, prof, 30, 8*sim.Second, 22*sim.Second))
+				v3 := addVM(t, h, 3, "Vhog", 30, &workload.Hog{})
+				h.Schedule(5*sim.Second+700, func(sim.Time) { v3.Pause() })
+				h.Schedule(16*sim.Second+100, func(sim.Time) { v3.Resume() })
+				return h
+			},
+		},
+		{
 			// User-level credit manager: an agent boundary every second
 			// adjusts caps, plus scheduled workload swaps mid-run.
 			name: "credit+agent+events",
@@ -288,52 +337,64 @@ func TestBatchedEquivalence(t *testing.T) {
 			}
 			t.Logf("batched %d / stepped %d quanta",
 				batched.Engine().BatchedQuanta(), batched.Engine().SteppedQuanta())
-
-			if got, want := batched.CumulativeBusy(), reference.CumulativeBusy(); got != want {
-				t.Errorf("CumulativeBusy: batched %v reference %v", got, want)
-			}
-			for _, v := range reference.VMs() {
-				if got, want := batched.VMBusy(v.ID()), reference.VMBusy(v.ID()); got != want {
-					t.Errorf("VMBusy(%s): batched %v reference %v", v.Name(), got, want)
-				}
-			}
-			relCheck(t, "joules", batched.Energy().Joules(), reference.Energy().Joules())
-			if got, want := batched.GlobalLoad(), reference.GlobalLoad(); got != want {
-				t.Errorf("GlobalLoad: batched %v reference %v", got, want)
-			}
-
-			refSeries := reference.Recorder().Names()
-			gotSeries := batched.Recorder().Names()
-			if len(refSeries) != len(gotSeries) {
-				t.Fatalf("series sets differ: batched %v reference %v", gotSeries, refSeries)
-			}
-			for _, name := range refSeries {
-				want := reference.Recorder().Series(name)
-				got := batched.Recorder().Series(name)
-				if want.Len() != got.Len() {
-					t.Errorf("series %s: %d vs %d points", name, got.Len(), want.Len())
-					continue
-				}
-				exact := !strings.Contains(name, "absolute")
-				for i := range want.T {
-					if got.T[i] != want.T[i] {
-						t.Errorf("series %s[%d]: time %v vs %v", name, i, got.T[i], want.T[i])
-						break
-					}
-					if exact {
-						if got.V[i] != want.V[i] {
-							t.Errorf("series %s[%d]@%v: batched %v reference %v",
-								name, i, got.T[i], got.V[i], want.V[i])
-							break
-						}
-					} else if !relClose(got.V[i], want.V[i]) {
-						t.Errorf("series %s[%d]@%v: batched %v reference %v beyond tolerance",
-							name, i, got.T[i], got.V[i], want.V[i])
-						break
-					}
-				}
-			}
+			assertHostTraceEquivalence(t, batched, reference)
 		})
+	}
+}
+
+// assertHostTraceEquivalence requires the two hosts to have produced
+// identical traces: busy-time-derived quantities bit-for-bit (scheduling
+// decisions are integer CPU-time bookkeeping), work- and energy-derived
+// quantities to within float-summation noise (a batched stretch sums its
+// work in one addition instead of thousands).
+func assertHostTraceEquivalence(t *testing.T, batched, reference *host.Host) {
+	t.Helper()
+	if got, want := batched.CumulativeBusy(), reference.CumulativeBusy(); got != want {
+		t.Errorf("CumulativeBusy: batched %v reference %v", got, want)
+	}
+	for _, v := range reference.VMs() {
+		if got, want := batched.VMBusy(v.ID()), reference.VMBusy(v.ID()); got != want {
+			t.Errorf("VMBusy(%s): batched %v reference %v", v.Name(), got, want)
+		}
+	}
+	relCheck(t, "joules", batched.Energy().Joules(), reference.Energy().Joules())
+	if got, want := batched.GlobalLoad(), reference.GlobalLoad(); got != want {
+		t.Errorf("GlobalLoad: batched %v reference %v", got, want)
+	}
+	if got, want := batched.CPU().Freq(), reference.CPU().Freq(); got != want {
+		t.Errorf("frequency: batched %v reference %v", got, want)
+	}
+
+	refSeries := reference.Recorder().Names()
+	gotSeries := batched.Recorder().Names()
+	if len(refSeries) != len(gotSeries) {
+		t.Fatalf("series sets differ: batched %v reference %v", gotSeries, refSeries)
+	}
+	for _, name := range refSeries {
+		want := reference.Recorder().Series(name)
+		got := batched.Recorder().Series(name)
+		if want.Len() != got.Len() {
+			t.Errorf("series %s: %d vs %d points", name, got.Len(), want.Len())
+			continue
+		}
+		exact := !strings.Contains(name, "absolute")
+		for i := range want.T {
+			if got.T[i] != want.T[i] {
+				t.Errorf("series %s[%d]: time %v vs %v", name, i, got.T[i], want.T[i])
+				break
+			}
+			if exact {
+				if got.V[i] != want.V[i] {
+					t.Errorf("series %s[%d]@%v: batched %v reference %v",
+						name, i, got.T[i], got.V[i], want.V[i])
+					break
+				}
+			} else if !relClose(got.V[i], want.V[i]) {
+				t.Errorf("series %s[%d]@%v: batched %v reference %v beyond tolerance",
+					name, i, got.T[i], got.V[i], want.V[i])
+				break
+			}
+		}
 	}
 }
 

@@ -42,9 +42,9 @@ func hogVM(t *testing.T, id vm.ID, credit float64) *vm.VM {
 // BoundarySources breakdown across the three host occupancy regimes: an
 // idle host batches whole action horizons, a single-runnable host batches
 // with the scheduler refill shortening stretches, and a contended host
-// batches through the pattern path under Credit but degrades to
-// machine-declined reference stepping under Credit2 (whose vclock
-// advances with every pick).
+// batches through the pattern path under Credit and Credit2 alike — since
+// Credit2 certifies its closed-form smallest-vruntime merge, no stock
+// scheduler leaves a machine-declined-dominated path behind.
 func TestEngineIntrospection(t *testing.T) {
 	const horizon = 5 * sim.Second
 
@@ -123,18 +123,55 @@ func TestEngineIntrospection(t *testing.T) {
 			t.Fatal(err)
 		}
 		eng := h.Engine()
-		// Credit2 cannot certify patterns (its vclock advances with
-		// every pick), so a contended host steps quantum by quantum and
-		// the breakdown names the machine as the limiter.
-		if eng.BatchedQuanta() != 0 {
-			t.Fatalf("contended Credit2 host batched %d quanta", eng.BatchedQuanta())
+		// Credit2 certifies its pick pattern in closed form, so a
+		// contended host batches whole meter horizons: batching dominates
+		// and the breakdown names engine-side boundaries, not the
+		// machine, as the limiter.
+		if eng.BatchedQuanta() == 0 {
+			t.Fatal("contended Credit2 host never batched")
+		}
+		if eng.BatchedQuanta() <= eng.SteppedQuanta() {
+			t.Fatalf("contended Credit2 host mostly stepped: batched %d stepped %d",
+				eng.BatchedQuanta(), eng.SteppedQuanta())
 		}
 		src := eng.BoundarySources()
-		if src["machine-declined"] == 0 {
-			t.Fatalf("want machine-declined horizons under Credit2: %v", src)
+		if src["machine-declined"] != 0 {
+			t.Fatalf("hog-only Credit2 host declined %d horizons: %v", src["machine-declined"], src)
 		}
-		if eng.SteppedQuanta() != int64(horizon/sim.Millisecond) {
-			t.Fatalf("stepped %d of %d quanta", eng.SteppedQuanta(), horizon/sim.Millisecond)
+		if src["action"] == 0 {
+			t.Fatalf("want action-bounded (meter) horizons under Credit2: %v", src)
+		}
+	})
+
+	t.Run("contended-credit2-draining", func(t *testing.T) {
+		// A finite pi job among the hogs: while it drains, the host's
+		// pending-work quota cuts patterns short of the offer, so the
+		// certified-pattern expiry surfaces as machine-shortened horizons
+		// — never as a machine-declined-dominated breakdown.
+		pi, err := workload.NewPiApp(2e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vpi, err := vm.New(3, vm.Config{Credit: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vpi.SetWorkload(pi)
+		h := newIntroHost(t, sched.NewCredit2(),
+			hogVM(t, 1, 20), hogVM(t, 2, 30), vpi)
+		if err := h.RunUntil(horizon); err != nil {
+			t.Fatal(err)
+		}
+		src := h.Engine().BoundarySources()
+		if src["machine-shortened"] == 0 {
+			t.Fatalf("want quota-shortened pattern horizons under Credit2: %v", src)
+		}
+		if total := sum(src); src["machine-declined"]*5 > total {
+			t.Fatalf("machine-declined dominates a contended Credit2 host: %v", src)
+		}
+		if h.Engine().BatchedQuanta() <= h.Engine().SteppedQuanta() {
+			t.Fatalf("draining Credit2 host mostly stepped: batched %d stepped %d",
+				h.Engine().BatchedQuanta(), h.Engine().SteppedQuanta())
 		}
 	})
 }

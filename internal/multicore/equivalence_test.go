@@ -15,13 +15,14 @@ import (
 // host equivalence suite: every core hosts 2-4 runnable VMs (hard-capped
 // hogs plus a web VM), under per-socket DVFS so coordination and
 // compensation interleave with the batching.
-func buildContendedCluster(t *testing.T, reference bool) *Cluster {
+func buildContendedCluster(t *testing.T, scheduler string, reference bool) *Cluster {
 	t.Helper()
 	prof := cpufreq.Optiplex755()
 	c, err := New(Config{
 		Profile:   prof,
 		Cores:     3,
 		Domain:    PerSocket,
+		Scheduler: scheduler,
 		Reference: reference,
 	})
 	if err != nil {
@@ -91,18 +92,33 @@ func relCloseMC(a, b float64) bool {
 // checks to a multicore.Cluster: the batched cluster and the reference
 // cluster must produce identical traces on every core — busy-derived
 // series bit-for-bit, work- and energy-derived series to within
-// float-summation noise.
+// float-summation noise. The credit cores batch through Credit's
+// rotation patterns under compensated caps; the credit2 cores batch
+// through the closed-form smallest-vruntime merge with the coordinator
+// driving DVFS alone.
 func TestClusterBatchedEquivalence(t *testing.T) {
-	const horizon = 30 * sim.Second
-	batched := buildContendedCluster(t, false)
-	reference := buildContendedCluster(t, true)
-	if err := batched.Run(horizon); err != nil {
-		t.Fatal(err)
+	for _, scheduler := range []string{"credit", "credit2"} {
+		scheduler := scheduler
+		t.Run(scheduler, func(t *testing.T) {
+			t.Parallel()
+			const horizon = 30 * sim.Second
+			batched := buildContendedCluster(t, scheduler, false)
+			reference := buildContendedCluster(t, scheduler, true)
+			if err := batched.Run(horizon); err != nil {
+				t.Fatal(err)
+			}
+			if err := reference.Run(horizon); err != nil {
+				t.Fatal(err)
+			}
+			assertClusterEquivalence(t, batched, reference)
+		})
 	}
-	if err := reference.Run(horizon); err != nil {
-		t.Fatal(err)
-	}
+}
 
+// assertClusterEquivalence compares the batched and reference clusters
+// core by core.
+func assertClusterEquivalence(t *testing.T, batched, reference *Cluster) {
+	t.Helper()
 	var batchedQuanta int64
 	for i := 0; i < batched.Cores(); i++ {
 		h, err := batched.CoreHost(i)

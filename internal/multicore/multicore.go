@@ -71,6 +71,13 @@ type Config struct {
 	SettleSteps int
 	// CapacityMargin is the PAS capacity margin; default 0.02.
 	CapacityMargin float64
+	// Scheduler selects the per-core VM scheduler: "credit" (default) is
+	// the fix-credit scheduler whose caps the coordinator compensates at
+	// reduced frequencies; "credit2" is the weight-proportional
+	// work-conserving scheduler — a variable-credit scheduler in the
+	// paper's taxonomy, which needs no compensation, so the coordinator
+	// only drives the DVFS policy.
+	Scheduler string
 	// Workers bounds how many cores step concurrently between
 	// coordination barriers. Cores are fully independent hosts (own
 	// engine, scheduler, meters), so the result is identical for any
@@ -87,7 +94,7 @@ type Config struct {
 type coreState struct {
 	host        *host.Host
 	cpu         *cpufreq.CPU
-	credit      *sched.Credit
+	capper      sched.CapSetter // nil when the scheduler has no caps to compensate
 	initCredit  map[vm.ID]float64
 	settleUntil int // coordination step index
 }
@@ -140,21 +147,34 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("multicore: negative worker count %d", cfg.Workers)
 	}
+	if cfg.Scheduler == "" {
+		cfg.Scheduler = "credit"
+	}
+	if cfg.Scheduler != "credit" && cfg.Scheduler != "credit2" {
+		return nil, fmt.Errorf("multicore: unknown scheduler %q (credit, credit2)", cfg.Scheduler)
+	}
 	c := &Cluster{cfg: cfg, cf: cfg.Profile.EfficiencyTable()}
 	for i := 0; i < cfg.Cores; i++ {
 		cpu, err := cpufreq.NewCPU(cfg.Profile)
 		if err != nil {
 			return nil, fmt.Errorf("multicore: core %d: %w", i, err)
 		}
-		credit := sched.NewCredit(sched.CreditConfig{})
-		h, err := host.New(host.Config{CPU: cpu, Scheduler: credit, Reference: cfg.Reference})
+		var s sched.Scheduler
+		var capper sched.CapSetter
+		if cfg.Scheduler == "credit2" {
+			s = sched.NewCredit2()
+		} else {
+			credit := sched.NewCredit(sched.CreditConfig{})
+			s, capper = credit, credit
+		}
+		h, err := host.New(host.Config{CPU: cpu, Scheduler: s, Reference: cfg.Reference})
 		if err != nil {
 			return nil, fmt.Errorf("multicore: core %d: %w", i, err)
 		}
 		c.cores = append(c.cores, &coreState{
 			host:       h,
 			cpu:        cpu,
-			credit:     credit,
+			capper:     capper,
 			initCredit: make(map[vm.ID]float64),
 		})
 	}
@@ -176,7 +196,11 @@ func (c *Cluster) AddVM(coreIdx int, v *vm.VM) error {
 	if err := cs.host.AddVM(v); err != nil {
 		return fmt.Errorf("multicore: %w", err)
 	}
-	cs.initCredit[v.ID()] = v.Credit()
+	if cs.capper != nil {
+		// Initial credits are recorded only to be compensated (equation
+		// 4); a cap-less scheduler (credit2) never consults them.
+		cs.initCredit[v.ID()] = v.Credit()
+	}
 	return nil
 }
 
@@ -279,7 +303,10 @@ func (c *Cluster) coordinate() {
 }
 
 // apply sets one core's frequency and compensates its VMs' credits
-// (equation 4), exactly as the single-core PAS does.
+// (equation 4), exactly as the single-core PAS does. Cores running a
+// scheduler without caps (Credit2) skip the compensation: a
+// work-conserving weight-proportional scheduler preserves relative shares
+// at any frequency on its own.
 func (c *Cluster) apply(cs *coreState, f cpufreq.Freq) {
 	prof := cs.cpu.Profile()
 	idx, err := prof.Index(f)
@@ -288,15 +315,17 @@ func (c *Cluster) apply(cs *coreState, f cpufreq.Freq) {
 	}
 	ratio := prof.Ratio(f)
 	cf := c.cf[idx]
-	for id, init := range cs.initCredit {
-		if init <= 0 {
-			continue
+	if cs.capper != nil {
+		for id, init := range cs.initCredit {
+			if init <= 0 {
+				continue
+			}
+			newCredit, err := core.CompensatedCredit(init, ratio, cf)
+			if err != nil {
+				continue
+			}
+			_ = cs.capper.SetCap(id, newCredit) // ids registered via AddVM
 		}
-		newCredit, err := core.CompensatedCredit(init, ratio, cf)
-		if err != nil {
-			continue
-		}
-		_ = cs.credit.SetCap(id, newCredit) // ids registered via AddVM
 	}
 	if f != cs.cpu.Freq() {
 		_ = cs.cpu.SetFreq(f, c.now) // ladder-validated above

@@ -1,0 +1,237 @@
+package sched
+
+import (
+	"testing"
+
+	"pasched/internal/sim"
+	"pasched/internal/vm"
+	"pasched/internal/workload"
+)
+
+// credit2Snapshot captures the scheduler-internal state. VMs are shared
+// pointers: neither BatchPattern nor Pick/Charge touches workload state
+// (the caller performs Consume), so restoring a snapshot replays the exact
+// same scheduling decisions on the live VM set.
+type credit2Snapshot struct {
+	vms   []*vm.VM
+	st    []credit2State
+	vcNum int64
+	vcDen int64
+}
+
+func snapshotCredit2(c *Credit2) credit2Snapshot {
+	return credit2Snapshot{
+		vms:   append([]*vm.VM(nil), c.vms...),
+		st:    append([]credit2State(nil), c.st...),
+		vcNum: c.vcNum,
+		vcDen: c.vcDen,
+	}
+}
+
+// restoreCredit2 builds a fresh scheduler from a snapshot, sharing the VM
+// pointers but owning its own state slices.
+func restoreCredit2(s credit2Snapshot) *Credit2 {
+	c := NewCredit2()
+	c.vms = append(c.vms, s.vms...)
+	c.st = append(c.st, s.st...)
+	for i, v := range c.vms {
+		c.byID[v.ID()] = i
+	}
+	c.vcNum, c.vcDen = s.vcNum, s.vcDen
+	return c
+}
+
+func sameCredit2State(a credit2Snapshot, c *Credit2) bool {
+	if len(a.vms) != len(c.vms) || a.vcNum != c.vcNum || a.vcDen != c.vcDen {
+		return false
+	}
+	for i := range a.vms {
+		if a.vms[i] != c.vms[i] || a.st[i] != c.st[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkCredit2Invariants asserts the structural invariants random
+// lifecycles must never break: registry/slice consistency, clamped
+// weights, non-negative runtimes and a positive vclock denominator.
+func checkCredit2Invariants(t *testing.T, c *Credit2) {
+	t.Helper()
+	if len(c.vms) != len(c.st) || len(c.vms) != len(c.byID) {
+		t.Fatalf("state skew: %d vms, %d st, %d byID", len(c.vms), len(c.st), len(c.byID))
+	}
+	for id, i := range c.byID {
+		if i < 0 || i >= len(c.vms) || c.vms[i].ID() != id {
+			t.Fatalf("byID[%d]=%d does not match slice %v", id, i, c.vms)
+		}
+	}
+	for i, st := range c.st {
+		if st.weight < credit2MinWeight || st.weight > credit2MaxWeight {
+			t.Fatalf("VM %d weight %d outside [%d,%d]", c.vms[i].ID(), st.weight,
+				credit2MinWeight, credit2MaxWeight)
+		}
+		if st.runtime < 0 {
+			t.Fatalf("VM %d negative runtime %d", c.vms[i].ID(), st.runtime)
+		}
+	}
+	if c.vcDen < 1 {
+		t.Fatalf("vclock denominator %d", c.vcDen)
+	}
+}
+
+// checkCredit2LagBound asserts that after a Pick no runnable VM lags the
+// vclock by more than maxLag of virtual time — the wake-up clamp's
+// contract (vruntime >= vclock - maxLag, cross-multiplied).
+func checkCredit2LagBound(t *testing.T, c *Credit2) {
+	t.Helper()
+	floorNum := c.vcNum - int64(c.maxLag)*c.vcDen
+	for i, v := range c.vms {
+		if !v.Runnable() {
+			continue
+		}
+		if c.st[i].runtime*c.vcDen < floorNum*c.st[i].weight {
+			t.Fatalf("VM %d vruntime lag beyond maxLag: runtime %d weight %d vclock %d/%d",
+				v.ID(), c.st[i].runtime, c.st[i].weight, c.vcNum, c.vcDen)
+		}
+	}
+}
+
+// FuzzCredit2Lifecycle drives random Add/Remove/pause/run/charge/batch
+// sequences against Credit2 and checks, after every operation, that the
+// scheduler never panics, keeps its registry and slices consistent, never
+// lets a runnable VM lag the vclock beyond maxLag, and — whenever a
+// pattern certifies — that the batched tallies, the bulk charges and the
+// committed vclock land on bit-identical state as quantum-by-quantum
+// reference picking (and that a declined pattern commits nothing).
+func FuzzCredit2Lifecycle(f *testing.F) {
+	f.Add([]byte{0x00, 0x18, 0x02, 0x23, 0x04, 0x30, 0x0b, 0x3f})
+	f.Add([]byte{0x00, 0x08, 0x00, 0x10, 0x01, 0x05, 0x1c, 0x02, 0x24, 0x18, 0x04})
+	f.Add([]byte{0x00, 0xff, 0x00, 0x00, 0x03, 0x20, 0x04, 0x04, 0x01, 0x00, 0x04})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 256 {
+			ops = ops[:256]
+		}
+		c := NewCredit2()
+		now := sim.Time(0)
+		nextID := vm.ID(1)
+		for k := 0; k+1 < len(ops); k += 2 {
+			op, arg := ops[k], int(ops[k+1])
+			switch op % 6 {
+			case 0: // add a VM, weights spanning both bound edges
+				if len(c.vms) >= 8 {
+					break
+				}
+				weight := arg * arg // 0..65025: crosses the 4096 weight bound
+				v, err := vm.New(nextID, vm.Config{Weight: weight})
+				if err != nil {
+					t.Fatal(err)
+				}
+				nextID++
+				if arg%4 != 0 {
+					v.SetWorkload(&workload.Hog{})
+				}
+				if err := c.Add(v); (weight > credit2MaxWeight) != (err != nil) {
+					t.Fatalf("Add with weight %d: err=%v", weight, err)
+				}
+			case 1: // remove a VM
+				if len(c.vms) == 0 {
+					break
+				}
+				if err := c.Remove(c.vms[arg%len(c.vms)].ID()); err != nil {
+					t.Fatal(err)
+				}
+			case 2: // flip pause state / wake an idle VM
+				if len(c.vms) == 0 {
+					break
+				}
+				v := c.vms[arg%len(c.vms)]
+				switch {
+				case v.Paused():
+					v.Resume()
+				case arg%2 == 0:
+					v.Pause()
+				default:
+					v.SetWorkload(&workload.Hog{})
+				}
+			case 3: // run reference quanta
+				for j := 0; j < arg%32; j++ {
+					v := c.Pick(now)
+					now += quantum
+					if v != nil {
+						c.Charge(v, quantum, now)
+					}
+					checkCredit2LagBound(t, c)
+					c.Tick(now)
+				}
+			case 4: // differential: batched pattern vs reference picking
+				snap := snapshotCredit2(c)
+				quota := make([]PatternQuota, 0, len(c.vms))
+				for j, v := range c.vms {
+					if !v.Runnable() {
+						continue
+					}
+					quota = append(quota, PatternQuota{VM: v, MaxPicks: (arg + j*37) % 200})
+				}
+				max := 2 + arg%128
+				picks, idle := c.BatchPattern(quota, quantum, max, now)
+				if idle {
+					t.Fatalf("Credit2 certified an idle stretch: quota=%v", quota)
+				}
+				if picks == nil {
+					if !sameCredit2State(snap, c) {
+						t.Fatal("declined pattern committed state")
+					}
+					break
+				}
+				total := 0
+				for _, p := range picks {
+					if p.VM == nil || p.Quanta <= 0 {
+						t.Fatalf("invalid pattern pick %+v", p)
+					}
+					total += p.Quanta
+				}
+				if total < 2 || total > max {
+					t.Fatalf("pattern covers %d quanta of %d offered", total, max)
+				}
+				end := now + sim.Time(total)*quantum
+				for _, p := range picks {
+					c.Charge(p.VM, sim.Time(p.Quanta)*quantum, end)
+				}
+				ref := restoreCredit2(snap)
+				got := make(map[vm.ID]int)
+				refNow := now
+				for j := 0; j < total; j++ {
+					v := ref.Pick(refNow)
+					if v == nil {
+						t.Fatalf("reference idled inside a certified %d-quanta pattern", total)
+					}
+					got[v.ID()]++
+					refNow += quantum
+					ref.Charge(v, quantum, refNow)
+				}
+				for _, p := range picks {
+					if got[p.VM.ID()] != p.Quanta {
+						t.Fatalf("tally mismatch for VM %d: pattern %d reference %d",
+							p.VM.ID(), p.Quanta, got[p.VM.ID()])
+					}
+					delete(got, p.VM.ID())
+				}
+				if len(got) != 0 {
+					t.Fatalf("reference picked VMs outside the pattern: %v", got)
+				}
+				if !sameCredit2State(snapshotCredit2(ref), c) {
+					t.Fatalf("batched state diverges from reference:\n batched %+v %d/%d\n reference %+v %d/%d",
+						c.st, c.vcNum, c.vcDen, ref.st, ref.vcNum, ref.vcDen)
+				}
+				now = end
+			case 5: // partial charge (a draining tail quantum)
+				if len(c.vms) == 0 {
+					break
+				}
+				c.Charge(c.vms[arg%len(c.vms)], sim.Time(arg)*sim.Microsecond, now)
+			}
+			checkCredit2Invariants(t, c)
+		}
+	})
+}

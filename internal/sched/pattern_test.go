@@ -6,6 +6,7 @@ import (
 
 	"pasched/internal/sim"
 	"pasched/internal/vm"
+	"pasched/internal/workload"
 )
 
 // generousQuota grants every registered VM an effectively unbounded
@@ -364,6 +365,171 @@ func TestSEDFBatchPatternExtratimeRotation(t *testing.T) {
 	picks := checkPatternEquivalence(t, build, generousQuota, 21, 0)
 	if len(picks) != 2 || picks[0].Quanta != 10 || picks[1].Quanta != 10 {
 		t.Fatalf("want 10 extratime rotations over 2 VMs, got %v", picks)
+	}
+}
+
+func TestCredit2BatchPatternContended(t *testing.T) {
+	build := func(t *testing.T) Scheduler {
+		s := NewCredit2()
+		for _, cfg := range []struct {
+			id     vm.ID
+			credit float64
+		}{{1, 20}, {2, 30}, {3, 40}} {
+			if err := s.Add(busyVM(t, cfg.id, vm.Config{Credit: cfg.credit})); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	// The closed-form merge must reproduce the weighted 20/30/40
+	// interleaving exactly, commit the vclock of the last pick, and leave
+	// the tail picks identical to per-quantum stepping.
+	picks := checkPatternEquivalence(t, build, generousQuota, 90, 120)
+	got := patternTallies(picks)
+	// Over 90 quanta the shares track the weights within one rotation.
+	for id, weight := range map[vm.ID]float64{1: 20, 2: 30, 3: 40} {
+		want := 90 * weight / 90.0
+		if diff := float64(got[id]) - want; diff > 2 || diff < -2 {
+			t.Fatalf("VM %d tally %d, want ~%.0f: %v", id, got[id], want, got)
+		}
+	}
+}
+
+func TestCredit2BatchPatternEqualWeightsAlternate(t *testing.T) {
+	build := func(t *testing.T) Scheduler {
+		s := NewCredit2()
+		for _, id := range []vm.ID{1, 2} {
+			if err := s.Add(busyVM(t, id, vm.Config{Weight: 3})); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	// Equal weights from identical vruntimes alternate strictly, starting
+	// at the lower registration index (Pick's strict less-than tie-break).
+	picks := checkPatternEquivalence(t, build, generousQuota, 9, 20)
+	got := patternTallies(picks)
+	if got[1] != 5 || got[2] != 4 {
+		t.Fatalf("want 5/4 alternation over 9 quanta, got %v", got)
+	}
+}
+
+func TestCredit2BatchPatternQuotaCut(t *testing.T) {
+	build := func(t *testing.T) Scheduler {
+		s := NewCredit2()
+		for _, id := range []vm.ID{1, 2} {
+			if err := s.Add(busyVM(t, id, vm.Config{Weight: 1})); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s
+	}
+	quota := func(s Scheduler) []PatternQuota {
+		var out []PatternQuota
+		for _, v := range s.VMs() {
+			m := 1 << 30
+			if v.ID() == 2 {
+				m = 3 // the host sees VM 2 nearly drained
+			}
+			out = append(out, PatternQuota{VM: v, MaxPicks: m})
+		}
+		return out
+	}
+	// VM 2's fourth pick is the crossover: the pattern must end strictly
+	// before it. With equal weights the merge alternates 1,2,1,2,1,2,1 —
+	// seven picks, then VM 2 would be picked again.
+	picks := checkPatternEquivalence(t, build, quota, 50, 0)
+	got := patternTallies(picks)
+	if got[1] != 4 || got[2] != 3 {
+		t.Fatalf("want the 4/3 prefix before VM 2's quota crossover, got %v", got)
+	}
+}
+
+func TestCredit2BatchPatternWakeUpClamp(t *testing.T) {
+	const warmup = 200
+	build := func(t *testing.T) Scheduler {
+		s := NewCredit2()
+		v1 := busyVM(t, 1, vm.Config{Weight: 1})
+		v2 := mustVM(t, 2, vm.Config{Weight: 1}) // idle through the warmup
+		if err := s.Add(v1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Add(v2); err != nil {
+			t.Fatal(err)
+		}
+		// v1 runs alone and drags the vclock far ahead of v2's frozen
+		// vruntime, then v2 wakes: the pattern's first-pick clamp must
+		// bound v2's catch-up advantage to maxLag, exactly like Pick's.
+		refPickIDs(s, 0, warmup)
+		v2.SetWorkload(&workload.Hog{})
+		return s
+	}
+	t0 := sim.Time(warmup) * quantum
+	pat := build(t)
+	ref := build(t)
+	picks, idle := pat.(PatternBatcher).BatchPattern(generousQuota(pat), quantum, 80, t0)
+	if idle || picks == nil {
+		t.Fatalf("pattern not certified after wake-up: picks=%v idle=%v", picks, idle)
+	}
+	total := applyPattern(pat, picks, t0)
+	refIDs := refPickIDs(ref, t0, total+40)
+	if got, want := patternTallies(picks), tallies(refIDs[:total]); !reflect.DeepEqual(got, want) {
+		t.Fatalf("wake-up pattern tallies %v, reference %v over %d quanta", got, want, total)
+	}
+	patTail := refPickIDs(pat, t0+sim.Time(total)*quantum, 40)
+	if !reflect.DeepEqual(patTail, refIDs[total:]) {
+		t.Fatalf("post-pattern picks diverge after wake-up clamp:\n pattern %v\n reference %v",
+			patTail, refIDs[total:])
+	}
+	// The woken VM catches up maxLag worth of virtual time but no more:
+	// its tally leads without monopolizing the span.
+	got := patternTallies(picks)
+	if got[2] <= got[1] || got[1] == 0 {
+		t.Fatalf("want a bounded catch-up lead for the woken VM, got %v", got)
+	}
+}
+
+func TestCredit2BatchPatternSingleRunnable(t *testing.T) {
+	build := func(t *testing.T) Scheduler {
+		s := NewCredit2()
+		if err := s.Add(busyVM(t, 1, vm.Config{Credit: 20})); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Add(mustVM(t, 2, vm.Config{Credit: 70})); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	// Credit2 has no Batcher, so the host routes sole-runnable stretches
+	// through BatchPattern too: the merge degenerates to one progression.
+	picks := checkPatternEquivalence(t, build, generousQuota, 25, 10)
+	if len(picks) != 1 || picks[0].VM.ID() != 1 || picks[0].Quanta != 25 {
+		t.Fatalf("want the sole runnable VM x25, got %v", picks)
+	}
+}
+
+func TestCredit2BatchPatternDecline(t *testing.T) {
+	s := NewCredit2()
+	v := busyVM(t, 1, vm.Config{Credit: 30})
+	if err := s.Add(v); err != nil {
+		t.Fatal(err)
+	}
+	// Zero quota (nearly drained), sub-2 offers and empty runnable sets
+	// all decline — Credit2 is work-conserving, so it never certifies an
+	// idle stretch.
+	zero := []PatternQuota{{VM: v, MaxPicks: 0}}
+	if picks, idle := s.BatchPattern(zero, quantum, 20, 0); picks != nil || idle {
+		t.Fatalf("zero quota: got picks=%v idle=%v", picks, idle)
+	}
+	if picks, idle := s.BatchPattern(generousQuota(s), quantum, 1, 0); picks != nil || idle {
+		t.Fatalf("1-quantum offer: got picks=%v idle=%v", picks, idle)
+	}
+	if picks, idle := s.BatchPattern(generousQuota(s), quantum, 0, 0); picks != nil || idle {
+		t.Fatalf("0-quantum offer: got picks=%v idle=%v", picks, idle)
+	}
+	v.Pause()
+	if picks, idle := s.BatchPattern(nil, quantum, 20, 0); picks != nil || idle {
+		t.Fatalf("no runnable VMs: got picks=%v idle=%v", picks, idle)
 	}
 }
 

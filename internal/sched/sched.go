@@ -124,8 +124,9 @@ type PatternPick struct {
 // pattern step. It generalizes Batcher: where BatchPick certifies a run
 // of identical picks of a sole runnable VM, BatchPattern certifies the
 // scheduler's full interleaving — Credit's weighted round-robin rotation
-// between credit refills, SEDF's EDF order between deadline boundaries —
-// as per-VM consumed-quanta tallies.
+// between credit refills, SEDF's EDF order between deadline boundaries,
+// Credit2's closed-form smallest-vruntime merge — as per-VM
+// consumed-quanta tallies.
 //
 // The engine calls it only when no scheduler boundary (NextBoundary), no
 // governor decision, no frequency transition and no workload change lies

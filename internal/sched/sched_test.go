@@ -441,6 +441,14 @@ func TestCredit2Errors(t *testing.T) {
 	if w, err := s.Weight(1); err != nil || w != 20 {
 		t.Errorf("Weight = %v, %v; want 20, nil", w, err)
 	}
+	// Weights beyond the exact-arithmetic bound are rejected, not
+	// silently clamped (clamping would distort configured share ratios).
+	if err := s.Add(busyVM(t, 2, vm.Config{Weight: 5000})); err == nil {
+		t.Error("Add with weight 5000 succeeded; want rejection beyond 4096")
+	}
+	if err := s.Add(busyVM(t, 3, vm.Config{Weight: 4096})); err != nil {
+		t.Errorf("Add with weight 4096 failed: %v", err)
+	}
 }
 
 func TestVMsReturnsCopy(t *testing.T) {
