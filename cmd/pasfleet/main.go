@@ -38,7 +38,7 @@ func run(args []string, out, errOut io.Writer) int {
 		horizon     = fs.Float64("horizon", 600, "simulated horizon in seconds")
 		seed        = fs.Uint64("seed", 42, "trace and workload seed")
 		policyName  = fs.String("policy", "first-fit", "placement policy: first-fit, best-fit or dvfs-aware")
-		schedName   = fs.String("sched", "pas", "per-machine scheduler: pas, credit (fix-credit) or credit2")
+		schedName   = fs.String("sched", "pas", "per-machine scheduler: "+fleet.SchedulerNames)
 		report      = fs.Float64("report", 30, "reporting interval in seconds")
 		consolidate = fs.Float64("consolidate", 120, "consolidation interval in seconds (0 disables)")
 		workers     = fs.Int("workers", 0, "parallel workers at reporting barriers (0 = GOMAXPROCS)")
@@ -48,6 +48,16 @@ func run(args []string, out, errOut io.Writer) int {
 		jsonPath    = fs.String("json", "", "write the full report as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	// Validate the scheduler choice before any trace or fleet work, so a
+	// typo fails immediately with the accepted names instead of deep in
+	// machine construction. The empty string is valid for the library
+	// (it defers to Config.UsePAS) but an empty -sched on the CLI is a
+	// mistake, e.g. an unset shell variable.
+	if *schedName == "" || !fleet.ValidScheduler(*schedName) {
+		fmt.Fprintf(errOut, "pasfleet: unknown scheduler %q (accepted: %s)\n",
+			*schedName, fleet.SchedulerNames)
 		return 2
 	}
 
@@ -86,13 +96,6 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, err)
 		return 1
 	}
-	switch *schedName {
-	case "pas", "credit", "fix-credit", "credit2":
-	default:
-		fmt.Fprintf(errOut, "pasfleet: unknown scheduler %q (want pas, credit or credit2)\n", *schedName)
-		return 1
-	}
-
 	fl, err := fleet.New(fleet.Config{
 		Machines:         fleet.DefaultEstate(*machines),
 		Scheduler:        *schedName,

@@ -8,8 +8,9 @@
 //	pastrace -sched pas -load thrashing > fig9.csv
 //	pastrace -sched credit -gov paper -load exact -series V20_absolute_pct,freq_mhz
 //
-// Schedulers: credit, sedf, pas. Governors: performance, ondemand (stock),
-// paper (the paper's smoothed governor), none. Loads: exact, thrashing.
+// Schedulers: credit, credit2, sedf, pas, pas-credit2. Governors:
+// performance, ondemand (stock), paper (the paper's smoothed governor),
+// none. Loads: exact, thrashing.
 package main
 
 import (
@@ -29,7 +30,7 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("pastrace", flag.ContinueOnError)
 	var (
-		schedName = fs.String("sched", "pas", "scheduler: credit, sedf, pas")
+		schedName = fs.String("sched", "pas", "scheduler: "+experiments.TraceSchedulers)
 		govName   = fs.String("gov", "none", "governor: performance, ondemand, paper, none")
 		loadName  = fs.String("load", "thrashing", "load intensity: exact, thrashing")
 		seed      = fs.Uint64("seed", 42, "workload arrival seed")

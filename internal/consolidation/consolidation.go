@@ -14,6 +14,7 @@ import (
 
 	"pasched/internal/core"
 	"pasched/internal/cpufreq"
+	"pasched/internal/energy"
 	"pasched/internal/host"
 	"pasched/internal/sched"
 	"pasched/internal/sim"
@@ -202,6 +203,7 @@ func Simulate(p *Placement, vms []VMSpec, spec HostSpec, dur sim.Time, usePAS bo
 	}
 
 	rep := &Report{HostsUsed: p.Hosts}
+	var total energy.Energy
 	maxTp, err := spec.Profile.Throughput(spec.Profile.Max())
 	if err != nil {
 		return nil, err
@@ -241,8 +243,11 @@ func Simulate(p *Placement, vms []VMSpec, spec HostSpec, dur sim.Time, usePAS bo
 		hr.MeanFreqMHz = h.Recorder().Series("freq_mhz").Mean()
 		hr.MeanLoadPct = h.Recorder().Series("global_load_pct").Mean()
 		rep.PerHost = append(rep.PerHost, hr)
-		rep.TotalJoules += hr.Joules
+		total = total.Add(h.Energy().Total())
 	}
+	// The total is the exact integer sum of the per-host meters,
+	// converted to joules only here at the report edge.
+	rep.TotalJoules = total.Joules()
 	return rep, nil
 }
 
@@ -268,9 +273,11 @@ type HostOptions struct {
 	// machines. Zero keeps the host default.
 	SampleEvery sim.Time
 	// Scheduler overrides the usePAS choice with a scheduler by name:
-	// "pas", "credit" (fix-credit) or "credit2" (weight-proportional
-	// work-conserving, pinned at the maximum frequency like the
-	// fix-credit baseline). Empty defers to usePAS.
+	// "pas" (cap-based credit compensation), "credit" (fix-credit),
+	// "credit2" (weight-proportional work-conserving, pinned at the
+	// maximum frequency like the fix-credit baseline) or "pas-credit2"
+	// (the PAS DVFS policy with Credit2 weight enforcement instead of
+	// caps). Empty defers to usePAS.
 	Scheduler string
 }
 
@@ -289,20 +296,26 @@ func NewHostWithOptions(spec HostSpec, usePAS bool, opts HostOptions) (*host.Hos
 		}
 	}
 	var s sched.Scheduler
-	var pas *core.PAS
+	var bind interface{ BindLoadSource(core.LoadSource) }
 	switch name {
 	case "pas":
-		pas, err = core.NewPAS(core.PASConfig{CPU: cpu, CF: spec.Profile.EfficiencyTable()})
+		pas, err := core.NewPAS(core.PASConfig{CPU: cpu, CF: spec.Profile.EfficiencyTable()})
 		if err != nil {
 			return nil, err
 		}
-		s = pas
+		s, bind = pas, pas
+	case "pas-credit2":
+		pc2, err := core.NewPASCredit2(core.PASCredit2Config{CPU: cpu, CF: spec.Profile.EfficiencyTable()})
+		if err != nil {
+			return nil, err
+		}
+		s, bind = pc2, pc2
 	case "credit", "fix-credit":
 		s = sched.NewCredit(sched.CreditConfig{})
 	case "credit2":
 		s = sched.NewCredit2()
 	default:
-		return nil, fmt.Errorf("consolidation: unknown scheduler %q (pas, credit, credit2)", name)
+		return nil, fmt.Errorf("consolidation: unknown scheduler %q (pas, credit, credit2, pas-credit2)", name)
 	}
 	h, err := host.New(host.Config{
 		CPU:            cpu,
@@ -313,8 +326,8 @@ func NewHostWithOptions(spec HostSpec, usePAS bool, opts HostOptions) (*host.Hos
 	if err != nil {
 		return nil, err
 	}
-	if pas != nil {
-		pas.BindLoadSource(h)
+	if bind != nil {
+		bind.BindLoadSource(h)
 	}
 	dom0, err := vm.New(0, vm.Config{Name: "Dom0", Credit: spec.Dom0ReservePct, Priority: 1})
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pasched/internal/energy"
 	"pasched/internal/engine"
 	"pasched/internal/host"
 	"pasched/internal/sim"
@@ -34,7 +35,7 @@ type DataCenter struct {
 	machines  []*machine
 	vms       map[string]*placedVM
 	inflight  []*migration
-	joules    float64
+	energy    energy.Energy
 	migrated  int
 
 	autoInterval sim.Time // 0 = manual consolidation only
@@ -47,7 +48,7 @@ type DataCenter struct {
 type machine struct {
 	h          *host.Host
 	on         bool
-	prevJoules float64
+	prevEnergy energy.Energy
 	memUsedMB  int
 	creditUsed float64
 	nextID     vm.ID
@@ -128,7 +129,11 @@ func (dc *DataCenter) ActiveMachines() int {
 func (dc *DataCenter) Now() sim.Time { return dc.now }
 
 // TotalJoules returns the energy consumed by powered-on machines so far.
-func (dc *DataCenter) TotalJoules() float64 { return dc.joules }
+func (dc *DataCenter) TotalJoules() float64 { return dc.energy.Joules() }
+
+// TotalEnergy returns the exact integer energy consumed by powered-on
+// machines so far; TotalJoules is its float report edge.
+func (dc *DataCenter) TotalEnergy() energy.Energy { return dc.energy }
 
 // Migrations returns the number of completed migrations.
 func (dc *DataCenter) Migrations() int { return dc.migrated }
@@ -373,13 +378,15 @@ func (dc *DataCenter) Run(d sim.Time) error {
 		if err := engine.RunParallel(dc.workers, tasks); err != nil {
 			return err
 		}
+		// Exact integer energy rollup: the machine order of this loop
+		// cannot influence the accumulated total.
 		for _, m := range dc.machines {
 			if !m.on {
 				continue
 			}
-			j := m.h.Energy().Joules()
-			dc.joules += j - m.prevJoules
-			m.prevJoules = j
+			e := m.h.Energy().Total()
+			dc.energy = dc.energy.Add(e.Sub(m.prevEnergy))
+			m.prevEnergy = e
 		}
 		dc.now = next
 		if err := dc.completeMigrations(); err != nil {
@@ -445,7 +452,7 @@ func (dc *DataCenter) skipTo(m *machine, t sim.Time) error {
 	if err := m.h.RunUntil(t); err != nil {
 		return err
 	}
-	m.prevJoules = m.h.Energy().Joules()
+	m.prevEnergy = m.h.Energy().Total()
 	return nil
 }
 

@@ -18,6 +18,8 @@ type CPU struct {
 	transitions int
 	residency   map[Freq]sim.Time // accumulated time per frequency
 	lastUpdate  sim.Time
+	rateFreq    Freq     // frequency the cached WorkRate was computed for
+	rate        sim.Work // cached exact work rate at rateFreq, per microsecond
 }
 
 // NewCPU returns a CPU running profile prof at its maximum frequency (the
@@ -104,6 +106,22 @@ func (c *CPU) Throughput() float64 {
 		return float64(c.prof.Max()) * 1e6
 	}
 	return tp
+}
+
+// WorkRate returns the current exact integer compute capacity in
+// sim.Work per microsecond (see Profile.WorkRate). The per-frequency
+// value is cached: frequencies change rarely while the host reads the
+// rate every quantum.
+func (c *CPU) WorkRate() sim.Work {
+	if c.cur != c.rateFreq {
+		r, err := c.prof.WorkRate(c.cur)
+		if err != nil {
+			// The current frequency is always a member of the ladder.
+			r = sim.Work(int64(c.prof.Max())) * sim.WorkUnit
+		}
+		c.rateFreq, c.rate = c.cur, r
+	}
+	return c.rate
 }
 
 // Ratio returns the paper's ratio for the current frequency:

@@ -168,12 +168,28 @@ func (p *Profile) Efficiency(f Freq) (float64, error) {
 // in work units per simulated second. One work unit corresponds to one
 // cycle at nominal efficiency, so throughput at the maximum frequency is
 // Max()*1e6 units/s and lower frequencies deliver f*1e6*Efficiency(f).
+// This is the float report/sizing-edge view; the simulation's execution
+// path accounts work through the exact integer WorkRate.
 func (p *Profile) Throughput(f Freq) (float64, error) {
 	eff, err := p.Efficiency(f)
 	if err != nil {
 		return 0, err
 	}
 	return float64(f) * 1e6 * eff, nil
+}
+
+// WorkRate returns the exact integer compute capacity at frequency f, in
+// sim.Work (milli-work-units) per microsecond: round(f * Efficiency(f) *
+// 1000). The rounding happens once per P-state; all downstream work
+// accounting (quantum capacities, workload consumption, host tallies)
+// multiplies and sums this integer, which is what makes batched and
+// reference runs bit-identical on every work-derived series.
+func (p *Profile) WorkRate(f Freq) (sim.Work, error) {
+	eff, err := p.Efficiency(f)
+	if err != nil {
+		return 0, err
+	}
+	return sim.Work(float64(f)*eff*float64(sim.WorkUnit) + 0.5), nil
 }
 
 // EfficiencyTable returns the per-P-state efficiencies in ladder order:

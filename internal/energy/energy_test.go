@@ -47,6 +47,59 @@ func TestMeterIntegration(t *testing.T) {
 	}
 }
 
+// TestMeterExactBatchEquivalence is the meter-level statement of the
+// accounting-spine contract: one bulk interval integrates bit-identically
+// to the same interval charged quantum by quantum, at every utilization.
+func TestMeterExactBatchEquivalence(t *testing.T) {
+	prof := cpufreq.Optiplex755()
+	for _, util := range []float64{0, 0.37, 1} {
+		bulk, err := NewMeter(prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		step, err := NewMeter(prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const q = sim.Millisecond
+		const n = 1000
+		if err := bulk.Add(n*q, 1600, util); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := step.Add(q, 1600, util); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if bulk.Total() != step.Total() {
+			t.Errorf("util %v: bulk %+v != stepped %+v", util, bulk.Total(), step.Total())
+		}
+	}
+}
+
+// TestEnergyArithmetic checks the two-word fixed point: carries, borrows
+// and the joule conversion.
+func TestEnergyArithmetic(t *testing.T) {
+	a := EnergyFromPicojoules(7e11) // 0.7 J
+	b := a.Add(a)                   // 1.4 J: must carry into the joule word
+	if got := b.Joules(); math.Abs(got-1.4) > 1e-12 {
+		t.Errorf("0.7+0.7 = %v J, want 1.4", got)
+	}
+	if d := b.Sub(a); d != a {
+		t.Errorf("1.4-0.7 = %+v, want %+v", d, a)
+	}
+	var sum Energy
+	for i := 0; i < 5; i++ {
+		sum = sum.AddPicojoules(3e11)
+	}
+	if got := sum.Joules(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("5 x 0.3 = %v J, want 1.5", got)
+	}
+	if sum != EnergyFromPicojoules(15e11) {
+		t.Errorf("sum %+v not normalized equal to 1.5 J", sum)
+	}
+}
+
 func TestMeterErrors(t *testing.T) {
 	m, err := NewMeter(cpufreq.Optiplex755())
 	if err != nil {

@@ -122,6 +122,7 @@ var registry = []entry{
 	{"ablation-governors", "Section 2.2 ablation: governor families compared", AblationGovernors},
 	{"energy", "Energy ablation: joules and QoS per scheduler/governor pair", Energy},
 	{"ext-multicore", "Extension (Section 7): per-core vs per-socket DVFS under PAS", ExtMulticore},
+	{"ext-pas-credit2", "Extension: cap-based PAS vs Credit2-based PAS (weights at the 10 ms cadence)", ExtPASCredit2},
 	{"ext-consolidation", "Extension (Section 2.3): consolidation and DVFS complementarity", ExtConsolidation},
 }
 

@@ -45,6 +45,7 @@ const (
 	schedCredit2
 	schedSEDF
 	schedPAS
+	schedPASCredit2
 )
 
 // govKind selects the scenario's governor.
@@ -69,6 +70,7 @@ const (
 type scenario struct {
 	host *host.Host
 	pas  *core.PAS
+	pc2  *core.PASCredit2
 	v20  *vm.VM
 	v70  *vm.VM
 	dom0 *vm.VM
@@ -84,6 +86,7 @@ func newScenario(sk schedKind, gk govKind, lk loadKind, seed uint64) (*scenario,
 
 	var s sched.Scheduler
 	var pas *core.PAS
+	var pc2 *core.PASCredit2
 	switch sk {
 	case schedCredit:
 		s = sched.NewCredit(sched.CreditConfig{})
@@ -97,6 +100,12 @@ func newScenario(sk schedKind, gk govKind, lk loadKind, seed uint64) (*scenario,
 			return nil, err
 		}
 		s = pas
+	case schedPASCredit2:
+		pc2, err = core.NewPASCredit2(core.PASCredit2Config{CPU: cpu, CF: prof.EfficiencyTable()})
+		if err != nil {
+			return nil, err
+		}
+		s = pc2
 	default:
 		return nil, fmt.Errorf("unknown scheduler kind %d", sk)
 	}
@@ -129,6 +138,9 @@ func newScenario(sk schedKind, gk govKind, lk loadKind, seed uint64) (*scenario,
 	}
 	if pas != nil {
 		pas.BindLoadSource(h)
+	}
+	if pc2 != nil {
+		pc2.BindLoadSource(h)
 	}
 
 	maxTp, err := prof.Throughput(prof.Max())
@@ -186,7 +198,7 @@ func newScenario(sk schedKind, gk govKind, lk loadKind, seed uint64) (*scenario,
 			return nil, err
 		}
 	}
-	return &scenario{host: h, pas: pas, v20: v20, v70: v70, dom0: dom0}, nil
+	return &scenario{host: h, pas: pas, pc2: pc2, v20: v20, v70: v70, dom0: dom0}, nil
 }
 
 // run executes the full profile.

@@ -6,11 +6,15 @@ import (
 	"pasched/internal/metrics"
 )
 
+// TraceSchedulers lists the scheduler names Trace accepts, for CLI usage
+// strings and up-front flag validation.
+const TraceSchedulers = "credit, credit2, sedf, pas, pas-credit2"
+
 // Trace runs one Section 5.3 scenario with the named configuration and
 // returns the full recorder, for CSV export by cmd/pastrace. Valid
-// schedulers: "credit", "credit2", "sedf", "pas". Valid governors:
-// "performance", "ondemand" (stock), "paper", "none". Valid loads:
-// "exact", "thrashing".
+// schedulers: TraceSchedulers. Valid governors: "performance",
+// "ondemand" (stock), "paper", "none". Valid loads: "exact",
+// "thrashing".
 func Trace(scheduler, gov, load string, seed uint64) (*metrics.Recorder, error) {
 	var sk schedKind
 	switch scheduler {
@@ -22,8 +26,10 @@ func Trace(scheduler, gov, load string, seed uint64) (*metrics.Recorder, error) 
 		sk = schedSEDF
 	case "pas":
 		sk = schedPAS
+	case "pas-credit2":
+		sk = schedPASCredit2
 	default:
-		return nil, fmt.Errorf("experiments: unknown scheduler %q (credit, credit2, sedf, pas)", scheduler)
+		return nil, fmt.Errorf("experiments: unknown scheduler %q (%s)", scheduler, TraceSchedulers)
 	}
 	var gk govKind
 	switch gov {
@@ -47,8 +53,8 @@ func Trace(scheduler, gov, load string, seed uint64) (*metrics.Recorder, error) 
 	default:
 		return nil, fmt.Errorf("experiments: unknown load %q (exact, thrashing)", load)
 	}
-	if sk == schedPAS && gk != govNone {
-		return nil, fmt.Errorf("experiments: the pas scheduler manages DVFS itself; use -gov none")
+	if (sk == schedPAS || sk == schedPASCredit2) && gk != govNone {
+		return nil, fmt.Errorf("experiments: the %s scheduler manages DVFS itself; use -gov none", scheduler)
 	}
 	sc, err := newScenario(sk, gk, lk, seed)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"pasched/internal/consolidation"
 	"pasched/internal/cpufreq"
+	"pasched/internal/energy"
 	"pasched/internal/engine"
 	"pasched/internal/host"
 	"pasched/internal/sim"
@@ -60,9 +61,11 @@ type Config struct {
 	// (DVFS with credit compensation) or the fix-credit baseline pinned
 	// at the maximum frequency.
 	UsePAS bool
-	// Scheduler selects the per-machine scheduler by name — "pas",
-	// "credit" (fix-credit) or "credit2" (weight-proportional
-	// work-conserving) — overriding UsePAS. Empty defers to UsePAS.
+	// Scheduler selects the per-machine scheduler by name — "pas"
+	// (cap-based credit compensation), "credit" (fix-credit), "credit2"
+	// (weight-proportional work-conserving) or "pas-credit2" (the PAS
+	// DVFS policy enforcing shares through Credit2 weights instead of
+	// caps) — overriding UsePAS. Empty defers to UsePAS.
 	Scheduler string
 	// Policy decides placement (and consolidation targets). Default
 	// first-fit.
@@ -93,6 +96,20 @@ type Config struct {
 	// quantum-by-quantum stepping path (host.Config.Reference), the
 	// baseline the batched==reference equivalence tests compare against.
 	Reference bool
+}
+
+// SchedulerNames lists the scheduler names Config.Scheduler accepts,
+// for CLI usage strings and up-front flag validation.
+const SchedulerNames = "pas, credit (fix-credit), credit2, pas-credit2"
+
+// ValidScheduler reports whether name is an accepted Config.Scheduler
+// value (the empty string defers to UsePAS).
+func ValidScheduler(name string) bool {
+	switch name {
+	case "", "pas", "credit", "fix-credit", "credit2", "pas-credit2":
+		return true
+	}
+	return false
 }
 
 // withDefaults validates the configuration and fills defaults.
@@ -131,19 +148,19 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = engine.DefaultWorkers()
 	}
-	switch cfg.Scheduler {
-	case "":
+	// Membership is ValidScheduler's single source of truth; only the
+	// UsePAS-conflict logic lives here.
+	if !ValidScheduler(cfg.Scheduler) {
+		return cfg, fmt.Errorf("fleet: unknown scheduler %q (accepted: %s)", cfg.Scheduler, SchedulerNames)
+	}
+	if cfg.Scheduler == "" {
 		if cfg.UsePAS {
 			cfg.Scheduler = "pas"
 		} else {
 			cfg.Scheduler = "credit"
 		}
-	case "pas", "credit", "fix-credit", "credit2":
-		if cfg.UsePAS && cfg.Scheduler != "pas" {
-			return cfg, fmt.Errorf("fleet: UsePAS conflicts with scheduler %q", cfg.Scheduler)
-		}
-	default:
-		return cfg, fmt.Errorf("fleet: unknown scheduler %q (pas, credit, credit2)", cfg.Scheduler)
+	} else if cfg.UsePAS && cfg.Scheduler != "pas" {
+		return cfg, fmt.Errorf("fleet: UsePAS conflicts with scheduler %q", cfg.Scheduler)
 	}
 	return cfg, nil
 }
@@ -157,7 +174,7 @@ type machine struct {
 	spec       consolidation.HostSpec
 	on         bool
 	everOn     bool
-	prevJoules float64
+	prevEnergy energy.Energy
 	memUsed    int
 	creditUsed float64
 	offeredPct float64
@@ -179,15 +196,15 @@ type placedVM struct {
 	arrive  sim.Time
 	// prevDemanded/prevAttained are the portions already folded into
 	// interval counters.
-	prevDemanded float64
-	prevAttained float64
+	prevDemanded sim.Work
+	prevAttained sim.Work
 	mig          *migration // non-nil while migrating away
 	gone         bool
 }
 
 // demanded returns the VM's cumulative demanded work: everything its
 // workload has offered so far, served or still queued.
-func (p *placedVM) demanded() float64 { return p.wl.CompletedWork() + p.wl.Pending() }
+func (p *placedVM) demanded() sim.Work { return p.wl.CompletedWork() + p.wl.Pending() }
 
 // migration is one in-flight live migration (pre-copy: the VM keeps
 // running on the source; the target holds a reservation).
@@ -242,14 +259,21 @@ type Fleet struct {
 	statesBuf []MachineState
 	tasksBuf  []func() error
 
-	// cumulative counters
+	// cumulative counters. Energy and work are exact integer sums, so
+	// the rollup order across machines and VMs cannot influence the
+	// result: worker-pool determinism holds by construction, and float
+	// conversion happens only when an Interval or the Summary is emitted.
 	arrived, departed, rejected, migrated int
 	poweredOn, poweredOff                 int
-	joules                                float64
-	demanded, attained                    float64
+	energyTotal                           energy.Energy
+	demanded, attained                    sim.Work
 
-	// current-interval counters
+	// current-interval counters; the exact work/energy accumulators
+	// back the float fields of the emitted Interval.
 	iv         Interval
+	ivEnergy   energy.Energy
+	ivDemanded sim.Work
+	ivAttained sim.Work
 	lastSample sim.Time
 
 	rep *Report
@@ -454,7 +478,7 @@ func (f *Fleet) powerOn(m *machine) error {
 	if err := f.sync(m); err != nil {
 		return err
 	}
-	m.prevJoules = m.h.Energy().Joules()
+	m.prevEnergy = m.h.Energy().Total()
 	m.on = true
 	m.everOn = true
 	f.poweredOn++
@@ -462,11 +486,12 @@ func (f *Fleet) powerOn(m *machine) error {
 }
 
 // rollup folds a powered-on machine's energy since the last rollup into
-// the current interval.
+// the current interval — an exact integer delta, so the machine order of
+// the rollup loop cannot change the sum.
 func (f *Fleet) rollup(m *machine) {
-	j := m.h.Energy().Joules()
-	f.iv.Joules += j - m.prevJoules
-	m.prevJoules = j
+	e := m.h.Energy().Total()
+	f.ivEnergy = f.ivEnergy.Add(e.Sub(m.prevEnergy))
+	m.prevEnergy = e
 }
 
 // machineStates builds the policy view. onlyOn restricts to powered-on
@@ -627,8 +652,8 @@ func (f *Fleet) tickVM(p *placedVM) {
 func (f *Fleet) foldVM(p *placedVM) {
 	f.tickVM(p)
 	d, a := p.demanded(), p.wl.CompletedWork()
-	f.iv.DemandedWork += d - p.prevDemanded
-	f.iv.AttainedWork += a - p.prevAttained
+	f.ivDemanded += d - p.prevDemanded
+	f.ivAttained += a - p.prevAttained
 	p.prevDemanded, p.prevAttained = d, a
 }
 
@@ -643,18 +668,20 @@ func (f *Fleet) recordOutcome(p *placedVM, departed bool) {
 		ArriveS:      p.arrive.Seconds(),
 		DepartS:      f.now.Seconds(),
 		Departed:     departed,
-		DemandedWork: d,
-		AttainedWork: a,
+		DemandedWork: d.Units(),
+		AttainedWork: a.Units(),
 		SLA:          slaOf(a, d),
 	})
 }
 
 // slaOf is attained/demanded, defined as 1 when nothing was demanded.
-func slaOf(attained, demanded float64) float64 {
+// The inputs are exact integer work tallies; the division is the float
+// report edge.
+func slaOf(attained, demanded sim.Work) float64 {
 	if demanded <= 0 {
 		return 1
 	}
-	sla := attained / demanded
+	sla := float64(attained) / float64(demanded)
 	if sla > 1 {
 		sla = 1
 	}
@@ -862,16 +889,23 @@ func (f *Fleet) reportBarrier(t sim.Time) error {
 	f.iv.TimeS = t.Seconds()
 	f.iv.ActiveMachines = active
 	f.iv.LiveVMs = len(live)
-	f.iv.SLA = slaOf(f.iv.AttainedWork, f.iv.DemandedWork)
+	// Emit the interval: the exact integer accumulators convert to the
+	// report's float fields here and nowhere earlier.
+	f.iv.Joules = f.ivEnergy.Joules()
+	f.iv.DemandedWork = f.ivDemanded.Units()
+	f.iv.AttainedWork = f.ivAttained.Units()
+	f.iv.SLA = slaOf(f.ivAttained, f.ivDemanded)
 	if dt := (t - f.lastSample).Seconds(); dt > 0 {
 		f.iv.AvgPowerW = f.iv.Joules / dt
 	}
 	f.rep.Intervals = append(f.rep.Intervals, f.iv)
-	f.joules += f.iv.Joules
-	f.demanded += f.iv.DemandedWork
-	f.attained += f.iv.AttainedWork
+	f.energyTotal = f.energyTotal.Add(f.ivEnergy)
+	f.demanded += f.ivDemanded
+	f.attained += f.ivAttained
 	f.lastSample = t
 	f.iv = Interval{}
+	f.ivEnergy = energy.Energy{}
+	f.ivDemanded, f.ivAttained = 0, 0
 
 	// Power off machines the departures emptied (their energy up to the
 	// barrier was already rolled up above). Keeping them on until the
@@ -908,7 +942,7 @@ func (f *Fleet) finalize() {
 		PowerOns:  f.poweredOn,
 		PowerOffs: f.poweredOff,
 
-		TotalJoules: f.joules,
+		TotalJoules: f.energyTotal.Joules(),
 		OverallSLA:  slaOf(f.attained, f.demanded),
 	}
 	for _, m := range f.machines {
@@ -931,7 +965,7 @@ func (f *Fleet) finalize() {
 	}
 	if sumDt > 0 {
 		s.MeanActiveMachines = sumActive / sumDt
-		s.MeanPowerW = f.joules / sumDt
+		s.MeanPowerW = s.TotalJoules / sumDt
 	}
 	n := 0
 	s.MinVMSLA = 1

@@ -2,7 +2,6 @@ package fleet
 
 import (
 	"bytes"
-	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -75,23 +74,15 @@ func TestFleetDeterminism(t *testing.T) {
 	}
 }
 
-// relClose reports near-equality within float-summation noise (a batched
-// stretch sums its work in one addition instead of thousands).
-func relClose(a, b float64) bool {
-	if a == b {
-		return true
-	}
-	scale := math.Max(math.Abs(a), math.Abs(b))
-	return math.Abs(a-b) <= 1e-9*math.Max(scale, 1)
-}
-
 // TestFleetBatchedEquivalence runs a contended fleet scenario (2-4
 // runnable VMs per machine) through the batching engine and the
-// reference quantum-by-quantum loop and requires matching reports:
-// lifecycle and machine counts bit-for-bit, energy- and work-derived
-// quantities to within float-summation noise.
+// reference quantum-by-quantum loop and requires bit-identical reports
+// on every field: counts, energy, work and SLA alike. There are no
+// tolerances — the whole accounting spine is exact integers, and every
+// report float derives from the same integers through the same
+// conversion on both sides.
 func TestFleetBatchedEquivalence(t *testing.T) {
-	for _, scheduler := range []string{"credit", "pas", "credit2"} {
+	for _, scheduler := range []string{"credit", "pas", "credit2", "pas-credit2"} {
 		scheduler := scheduler
 		name := scheduler
 		if scheduler == "credit" {
@@ -143,52 +134,37 @@ func TestFleetBatchedEquivalence(t *testing.T) {
 				t.Fatalf("peak live VMs %d on 3 machines; scenario is not contended", peak)
 			}
 
+			// The two reports must be bit-identical in their entirety:
+			// summary, every interval (time, work, energy, SLA) and every
+			// per-VM outcome.
+			// The engine-introspection counters are the one intentional
+			// difference (the reference run never batches); everything the
+			// run *simulated* must match bit-for-bit.
 			gs, ws := got.Summary, want.Summary
-			ints := [][2]int{
-				{gs.Arrived, ws.Arrived}, {gs.Departed, ws.Departed},
-				{gs.Rejected, ws.Rejected}, {gs.Migrated, ws.Migrated},
-				{gs.EverPoweredOn, ws.EverPoweredOn},
-				{gs.PeakActiveMachines, ws.PeakActiveMachines},
-				{gs.VMsBelow95, ws.VMsBelow95},
+			gs.BatchedQuanta, gs.SteppedQuanta = 0, 0
+			ws.BatchedQuanta, ws.SteppedQuanta = 0, 0
+			if !reflect.DeepEqual(gs, ws) {
+				t.Errorf("summary differs: batched %+v reference %+v", gs, ws)
 			}
-			for i, pair := range ints {
-				if pair[0] != pair[1] {
-					t.Errorf("summary int %d: batched %d reference %d", i, pair[0], pair[1])
+			if !reflect.DeepEqual(got.Intervals, want.Intervals) {
+				if len(got.Intervals) != len(want.Intervals) {
+					t.Fatalf("interval count %d vs %d", len(got.Intervals), len(want.Intervals))
+				}
+				for i := range want.Intervals {
+					if got.Intervals[i] != want.Intervals[i] {
+						t.Errorf("interval %d: batched %+v reference %+v",
+							i, got.Intervals[i], want.Intervals[i])
+					}
 				}
 			}
-			if !relClose(gs.TotalJoules, ws.TotalJoules) {
-				t.Errorf("TotalJoules: batched %v reference %v", gs.TotalJoules, ws.TotalJoules)
-			}
-			if !relClose(gs.OverallSLA, ws.OverallSLA) {
-				t.Errorf("OverallSLA: batched %v reference %v", gs.OverallSLA, ws.OverallSLA)
-			}
-			if len(got.Intervals) != len(want.Intervals) {
-				t.Fatalf("interval count %d vs %d", len(got.Intervals), len(want.Intervals))
-			}
-			for i := range want.Intervals {
-				g, w := got.Intervals[i], want.Intervals[i]
-				if g.TimeS != w.TimeS || g.ActiveMachines != w.ActiveMachines ||
-					g.LiveVMs != w.LiveVMs || g.Arrivals != w.Arrivals ||
-					g.Departures != w.Departures || g.Migrations != w.Migrations ||
-					g.Rejected != w.Rejected {
-					t.Errorf("interval %d shape: batched %+v reference %+v", i, g, w)
+			if !reflect.DeepEqual(got.PerVM, want.PerVM) {
+				if len(got.PerVM) != len(want.PerVM) {
+					t.Fatalf("per-VM count %d vs %d", len(got.PerVM), len(want.PerVM))
 				}
-				if !relClose(g.Joules, w.Joules) || !relClose(g.SLA, w.SLA) ||
-					!relClose(g.DemandedWork, w.DemandedWork) ||
-					!relClose(g.AttainedWork, w.AttainedWork) {
-					t.Errorf("interval %d values: batched %+v reference %+v", i, g, w)
-				}
-			}
-			if len(got.PerVM) != len(want.PerVM) {
-				t.Fatalf("per-VM count %d vs %d", len(got.PerVM), len(want.PerVM))
-			}
-			for i := range want.PerVM {
-				g, w := got.PerVM[i], want.PerVM[i]
-				if g.Name != w.Name || g.Machine != w.Machine || g.Departed != w.Departed {
-					t.Errorf("per-VM %d: batched %+v reference %+v", i, g, w)
-				}
-				if !relClose(g.SLA, w.SLA) {
-					t.Errorf("per-VM %s SLA: batched %v reference %v", g.Name, g.SLA, w.SLA)
+				for i := range want.PerVM {
+					if got.PerVM[i] != want.PerVM[i] {
+						t.Errorf("per-VM %d: batched %+v reference %+v", i, got.PerVM[i], want.PerVM[i])
+					}
 				}
 			}
 		})

@@ -30,8 +30,9 @@ type Stats struct {
 	Now sim.Time
 	// CumBusy is the total busy CPU time so far.
 	CumBusy sim.Time
-	// CumWork is the total executed work in work units so far.
-	CumWork float64
+	// CumWork is the total executed work so far, in exact integer
+	// sim.Work.
+	CumWork sim.Work
 	// Cur is the current processor frequency.
 	Cur cpufreq.Freq
 	// Prof is the processor's architecture profile.

@@ -1,6 +1,7 @@
 package host_test
 
 import (
+	"strings"
 	"testing"
 
 	"pasched/internal/core"
@@ -41,7 +42,9 @@ func benchHost(b *testing.B, s sched.Scheduler, bind func(h *host.Host)) *host.H
 // engine's speedup — "batched"/"reference" on a hard-capped
 // single-runnable fix-credit host, the "credit2-contended" pair on a
 // three-hog Credit2 host whose smallest-vruntime merge must fold through
-// the pattern-certification path.
+// the pattern-certification path, and the "sedf-contended" pair on a
+// three-hog extratime SEDF host whose frozen EDF order (slice phases,
+// then extratime rotations) must fold between deadline boundaries.
 func BenchmarkHostStep(b *testing.B) {
 	scenarios := []struct {
 		name  string
@@ -87,6 +90,27 @@ func BenchmarkHostStep(b *testing.B) {
 			}
 			return h
 		}},
+		{"sedf-contended-batched", func(b *testing.B, reference bool) *host.Host {
+			h, err := host.New(host.Config{
+				Profile:   cpufreq.Optiplex755(),
+				Scheduler: sched.NewSEDF(sched.SEDFConfig{DefaultExtratime: true}),
+				Reference: reference,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i, credit := range []float64{20, 30, 40} {
+				v, err := vm.New(vm.ID(i+1), vm.Config{Credit: credit})
+				if err != nil {
+					b.Fatal(err)
+				}
+				v.SetWorkload(&workload.Hog{})
+				if err := h.AddVM(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return h
+		}},
 	}
 	for _, sc := range scenarios {
 		for _, mode := range []struct {
@@ -96,12 +120,12 @@ func BenchmarkHostStep(b *testing.B) {
 			name := sc.name
 			if mode.reference {
 				// Keep the historical "batched"/"reference" pair names for
-				// the single-runnable scenario; the contended scenario uses
+				// the single-runnable scenario; the contended scenarios use
 				// a -batched/-reference suffix pair.
 				if name == "batched" {
 					name = "reference"
 				} else {
-					name = "credit2-contended-reference"
+					name = strings.TrimSuffix(name, "-batched") + "-reference"
 				}
 			}
 			b.Run(name, func(b *testing.B) {

@@ -1,8 +1,6 @@
 package host_test
 
 import (
-	"math"
-	"strings"
 	"testing"
 
 	"pasched/internal/core"
@@ -310,11 +308,11 @@ func equivalenceScenarios() []scenario {
 }
 
 // TestBatchedEquivalence runs every scenario through the batching engine
-// and the reference quantum-by-quantum loop and requires identical
-// traces: busy-time-derived series bit-for-bit (scheduling decisions are
-// integer CPU-time bookkeeping), work- and energy-derived series to
-// within float-summation noise (a batched stretch sums its work in one
-// addition instead of thousands).
+// and the reference quantum-by-quantum loop and requires bit-identical
+// traces on every series: busy time, work and energy are all exact
+// integer accounting (sim.Time, sim.Work, energy.Energy), so a batched
+// stretch summed in one addition lands on exactly the state thousands of
+// per-quantum additions would.
 func TestBatchedEquivalence(t *testing.T) {
 	const horizon = 30 * sim.Second
 	for _, sc := range equivalenceScenarios() {
@@ -343,21 +341,26 @@ func TestBatchedEquivalence(t *testing.T) {
 }
 
 // assertHostTraceEquivalence requires the two hosts to have produced
-// identical traces: busy-time-derived quantities bit-for-bit (scheduling
-// decisions are integer CPU-time bookkeeping), work- and energy-derived
-// quantities to within float-summation noise (a batched stretch sums its
-// work in one addition instead of thousands).
+// bit-identical traces. There are no tolerances: busy time, work and
+// energy are exact integer accounting end to end, and the recorded float
+// series derive from those integers through identical conversions, so
+// every point must compare == exactly.
 func assertHostTraceEquivalence(t *testing.T, batched, reference *host.Host) {
 	t.Helper()
 	if got, want := batched.CumulativeBusy(), reference.CumulativeBusy(); got != want {
 		t.Errorf("CumulativeBusy: batched %v reference %v", got, want)
+	}
+	if got, want := batched.CumulativeWork(), reference.CumulativeWork(); got != want {
+		t.Errorf("CumulativeWork: batched %v reference %v", got, want)
 	}
 	for _, v := range reference.VMs() {
 		if got, want := batched.VMBusy(v.ID()), reference.VMBusy(v.ID()); got != want {
 			t.Errorf("VMBusy(%s): batched %v reference %v", v.Name(), got, want)
 		}
 	}
-	relCheck(t, "joules", batched.Energy().Joules(), reference.Energy().Joules())
+	if got, want := batched.Energy().Total(), reference.Energy().Total(); got != want {
+		t.Errorf("energy: batched %+v reference %+v", got, want)
+	}
 	if got, want := batched.GlobalLoad(), reference.GlobalLoad(); got != want {
 		t.Errorf("GlobalLoad: batched %v reference %v", got, want)
 	}
@@ -377,39 +380,16 @@ func assertHostTraceEquivalence(t *testing.T, batched, reference *host.Host) {
 			t.Errorf("series %s: %d vs %d points", name, got.Len(), want.Len())
 			continue
 		}
-		exact := !strings.Contains(name, "absolute")
 		for i := range want.T {
 			if got.T[i] != want.T[i] {
 				t.Errorf("series %s[%d]: time %v vs %v", name, i, got.T[i], want.T[i])
 				break
 			}
-			if exact {
-				if got.V[i] != want.V[i] {
-					t.Errorf("series %s[%d]@%v: batched %v reference %v",
-						name, i, got.T[i], got.V[i], want.V[i])
-					break
-				}
-			} else if !relClose(got.V[i], want.V[i]) {
-				t.Errorf("series %s[%d]@%v: batched %v reference %v beyond tolerance",
+			if got.V[i] != want.V[i] {
+				t.Errorf("series %s[%d]@%v: batched %v reference %v",
 					name, i, got.T[i], got.V[i], want.V[i])
 				break
 			}
 		}
-	}
-}
-
-// relClose reports near-equality within float-summation noise.
-func relClose(a, b float64) bool {
-	if a == b {
-		return true
-	}
-	scale := math.Max(math.Abs(a), math.Abs(b))
-	return math.Abs(a-b) <= 1e-9*math.Max(scale, 1)
-}
-
-func relCheck(t *testing.T, what string, got, want float64) {
-	t.Helper()
-	if !relClose(got, want) {
-		t.Errorf("%s: batched %v reference %v", what, got, want)
 	}
 }

@@ -81,12 +81,13 @@ type Agent interface {
 
 // vmAccount is the per-VM busy/work bookkeeping, slice-backed so the hot
 // quantum path avoids map operations and RemoveVM leaves no stale
-// entries behind.
+// entries behind. Work is exact integer sim.Work: bulk batched charges
+// and per-quantum charges land on bit-identical tallies.
 type vmAccount struct {
 	busy     sim.Time
-	work     float64
+	work     sim.Work
 	prevBusy sim.Time
-	prevWork float64
+	prevWork sim.Work
 }
 
 // Host is the simulated virtualized machine.
@@ -101,14 +102,14 @@ type Host struct {
 	byID      map[vm.ID]int
 
 	cumBusy sim.Time
-	cumWork float64
+	cumWork sim.Work
 
 	meter *metrics.DeltaMeter
 
 	rec         *metrics.Recorder
 	lastSampleT sim.Time
 	prevBusy    sim.Time
-	prevWork    float64
+	prevWork    sim.Work
 
 	energy *energy.Meter
 	agents int
@@ -299,8 +300,9 @@ func (h *Host) GlobalLoad() float64 { return h.meter.Average() }
 // CumulativeBusy returns the total busy CPU time so far.
 func (h *Host) CumulativeBusy() sim.Time { return h.cumBusy }
 
-// CumulativeWork returns the total executed work so far, in work units.
-func (h *Host) CumulativeWork() float64 { return h.cumWork }
+// CumulativeWork returns the total executed work so far, as exact
+// integer sim.Work. Use sim.Work.Units for the float report-edge view.
+func (h *Host) CumulativeWork() sim.Work { return h.cumWork }
 
 // VMBusy returns the total busy CPU time granted to the VM so far, or 0
 // after the VM was removed.
@@ -360,10 +362,10 @@ func (h *Host) step(now sim.Time) error {
 	end := now + h.cfg.Quantum
 	util := 0.0
 	if picked := h.scheduler.Pick(now); picked != nil {
-		capWork := h.cpu.Throughput() * h.cfg.Quantum.Seconds()
+		capWork := h.cpu.WorkRate() * sim.Work(h.cfg.Quantum)
 		done := picked.Consume(capWork, end)
 		if done > 0 {
-			frac := done / capWork
+			frac := float64(done) / float64(capWork)
 			if frac > 1 {
 				frac = 1
 			}
@@ -405,10 +407,11 @@ func (h *Host) step(now sim.Time) error {
 }
 
 // quantaWithin returns floor(pending/capWork) — how many full quanta of
-// work a backlog covers — clamped to 1<<30 so the float-to-int
-// conversion stays defined on 32-bit platforms (a Hog's 1e18 backlog
-// would otherwise overflow int and silently disable batching there).
-func quantaWithin(pending, capWork float64) int {
+// work a backlog covers — clamped to 1<<30 so the conversion stays
+// defined on 32-bit platforms (a Hog's sim.MaxWork backlog would
+// otherwise overflow int and silently disable batching there), and so a
+// later quanta-times-capacity product stays far from int64 overflow.
+func quantaWithin(pending, capWork sim.Work) int {
 	r := pending / capWork
 	if r >= 1<<30 {
 		return 1 << 30
@@ -544,7 +547,7 @@ func (h *Host) batchStep(now sim.Time, max int) (int, error) {
 	if picks < n {
 		n = picks
 	}
-	capWork := h.cpu.Throughput() * q.Seconds()
+	capWork := h.cpu.WorkRate() * sim.Work(q)
 	if capWork <= 0 {
 		return 0, nil
 	}
@@ -559,7 +562,7 @@ func (h *Host) batchStep(now sim.Time, max int) (int, error) {
 	}
 	d := sim.Time(n) * q
 	end := now + d
-	done := single.Consume(capWork*float64(n), end)
+	done := single.Consume(capWork*sim.Work(n), end)
 	single.AddCPUTime(d)
 	h.scheduler.Charge(single, d, end)
 	h.cumBusy += d
@@ -587,7 +590,7 @@ func (h *Host) batchPattern(q sim.Time, freq cpufreq.Freq, max int, now sim.Time
 	if h.schedPattern == nil || max < 2 {
 		return 0, nil
 	}
-	capWork := h.cpu.Throughput() * q.Seconds()
+	capWork := h.cpu.WorkRate() * sim.Work(q)
 	if capWork <= 0 {
 		return 0, nil
 	}
@@ -634,7 +637,7 @@ func (h *Host) batchPattern(q sim.Time, freq cpufreq.Freq, max int, now sim.Time
 				h.scheduler.Name())
 		}
 		busy := sim.Time(p.Quanta) * q
-		done := p.VM.Consume(capWork*float64(p.Quanta), end)
+		done := p.VM.Consume(capWork*sim.Work(p.Quanta), end)
 		p.VM.AddCPUTime(busy)
 		h.scheduler.Charge(p.VM, busy, end)
 		h.cumBusy += busy
@@ -676,7 +679,7 @@ func (h *Host) sample(now sim.Time) {
 	h.rec.Series("freq_mhz").Add(t, float64(h.cpu.Freq()))
 	globalPct := float64(h.cumBusy-h.prevBusy) / dt * 100
 	h.rec.Series("global_load_pct").Add(t, globalPct)
-	absPct := (h.cumWork - h.prevWork) / (h.maxTp * dtSec) * 100
+	absPct := (h.cumWork - h.prevWork).Units() / (h.maxTp * dtSec) * 100
 	h.rec.Series("absolute_load_pct").Add(t, absPct)
 
 	capOf := h.capReader()
@@ -685,7 +688,7 @@ func (h *Host) sample(now sim.Time) {
 		name := v.Name()
 		gl := float64(acct.busy-acct.prevBusy) / dt * 100
 		h.rec.Series(name+"_global_pct").Add(t, gl)
-		ab := (acct.work - acct.prevWork) / (h.maxTp * dtSec) * 100
+		ab := (acct.work - acct.prevWork).Units() / (h.maxTp * dtSec) * 100
 		h.rec.Series(name+"_absolute_pct").Add(t, ab)
 		if v.Credit() > 0 {
 			h.rec.Series(name+"_vmload_pct").Add(t, gl/v.Credit()*100)

@@ -143,6 +143,31 @@ func TestEngineIntrospection(t *testing.T) {
 		}
 	})
 
+	t.Run("contended-sedf", func(t *testing.T) {
+		// Three extratime hogs under the integer-microsecond SEDF: the
+		// frozen EDF order folds between deadline boundaries (slice
+		// phases, then extratime rotations), so batching dominates and
+		// machine-declined stays at zero — the introspection face of the
+		// exact-accounting certification.
+		s := sched.NewSEDF(sched.SEDFConfig{DefaultExtratime: true})
+		h := newIntroHost(t, s, hogVM(t, 1, 20), hogVM(t, 2, 30), hogVM(t, 3, 40))
+		if err := h.RunUntil(horizon); err != nil {
+			t.Fatal(err)
+		}
+		eng := h.Engine()
+		if eng.BatchedQuanta() == 0 {
+			t.Fatal("contended SEDF host never batched")
+		}
+		if eng.BatchedQuanta() <= eng.SteppedQuanta() {
+			t.Fatalf("contended SEDF host mostly stepped: batched %d stepped %d",
+				eng.BatchedQuanta(), eng.SteppedQuanta())
+		}
+		src := eng.BoundarySources()
+		if src["machine-declined"] != 0 {
+			t.Fatalf("hog-only SEDF host declined %d horizons: %v", src["machine-declined"], src)
+		}
+	})
+
 	t.Run("contended-credit2-draining", func(t *testing.T) {
 		// A finite pi job among the hogs: while it drains, the host's
 		// pending-work quota cuts patterns short of the offer, so the

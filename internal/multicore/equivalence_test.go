@@ -1,8 +1,6 @@
 package multicore
 
 import (
-	"math"
-	"strings"
 	"testing"
 
 	"pasched/internal/cpufreq"
@@ -80,22 +78,14 @@ func buildContendedCluster(t *testing.T, scheduler string, reference bool) *Clus
 	return c
 }
 
-func relCloseMC(a, b float64) bool {
-	if a == b {
-		return true
-	}
-	scale := math.Max(math.Abs(a), math.Abs(b))
-	return math.Abs(a-b) <= 1e-9*math.Max(scale, 1)
-}
-
 // TestClusterBatchedEquivalence extends the host-level trace equivalence
 // checks to a multicore.Cluster: the batched cluster and the reference
-// cluster must produce identical traces on every core — busy-derived
-// series bit-for-bit, work- and energy-derived series to within
-// float-summation noise. The credit cores batch through Credit's
-// rotation patterns under compensated caps; the credit2 cores batch
-// through the closed-form smallest-vruntime merge with the coordinator
-// driving DVFS alone.
+// cluster must produce bit-identical traces on every core — no
+// tolerances, since busy time, work and energy are exact integer
+// accounting. The credit cores batch through Credit's rotation patterns
+// under compensated caps; the credit2 cores batch through the
+// closed-form smallest-vruntime merge with the coordinator driving DVFS
+// alone.
 func TestClusterBatchedEquivalence(t *testing.T) {
 	for _, scheduler := range []string{"credit", "credit2"} {
 		scheduler := scheduler
@@ -139,14 +129,17 @@ func assertClusterEquivalence(t *testing.T, batched, reference *Cluster) {
 	}
 	t.Logf("cluster batched %d quanta across %d cores", batchedQuanta, batched.Cores())
 
-	if got, want := batched.TotalJoules(), reference.TotalJoules(); !relCloseMC(got, want) {
-		t.Errorf("TotalJoules: batched %v reference %v", got, want)
+	if got, want := batched.TotalEnergy(), reference.TotalEnergy(); got != want {
+		t.Errorf("TotalEnergy: batched %+v reference %+v", got, want)
 	}
 	for i := 0; i < batched.Cores(); i++ {
 		bh, _ := batched.CoreHost(i)
 		rh, _ := reference.CoreHost(i)
 		if got, want := bh.CumulativeBusy(), rh.CumulativeBusy(); got != want {
 			t.Errorf("core %d CumulativeBusy: batched %v reference %v", i, got, want)
+		}
+		if got, want := bh.CumulativeWork(), rh.CumulativeWork(); got != want {
+			t.Errorf("core %d CumulativeWork: batched %v reference %v", i, got, want)
 		}
 		bf, _ := batched.CoreFreq(i)
 		rf, _ := reference.CoreFreq(i)
@@ -170,20 +163,13 @@ func assertClusterEquivalence(t *testing.T, batched, reference *Cluster) {
 				t.Errorf("core %d series %s: %d vs %d points", i, name, got.Len(), want.Len())
 				continue
 			}
-			exact := !strings.Contains(name, "absolute")
 			for j := range want.T {
 				if got.T[j] != want.T[j] {
 					t.Errorf("core %d series %s[%d]: time %v vs %v", i, name, j, got.T[j], want.T[j])
 					break
 				}
-				if exact {
-					if got.V[j] != want.V[j] {
-						t.Errorf("core %d series %s[%d]@%v: batched %v reference %v",
-							i, name, j, got.T[j], got.V[j], want.V[j])
-						break
-					}
-				} else if !relCloseMC(got.V[j], want.V[j]) {
-					t.Errorf("core %d series %s[%d]@%v: batched %v reference %v beyond tolerance",
+				if got.V[j] != want.V[j] {
+					t.Errorf("core %d series %s[%d]@%v: batched %v reference %v",
 						i, name, j, got.T[j], got.V[j], want.V[j])
 					break
 				}

@@ -25,6 +25,7 @@ import (
 
 	"pasched/internal/core"
 	"pasched/internal/cpufreq"
+	"pasched/internal/energy"
 	"pasched/internal/engine"
 	"pasched/internal/host"
 	"pasched/internal/sched"
@@ -220,14 +221,20 @@ func (c *Cluster) CoreFreq(coreIdx int) (cpufreq.Freq, error) {
 	return c.cores[coreIdx].cpu.Freq(), nil
 }
 
-// TotalJoules returns the energy consumed across all cores.
-func (c *Cluster) TotalJoules() float64 {
-	sum := 0.0
+// TotalEnergy returns the exact integer energy consumed across all
+// cores: an integer sum of the per-core meters, so the reduction order is
+// irrelevant by construction.
+func (c *Cluster) TotalEnergy() energy.Energy {
+	var sum energy.Energy
 	for _, cs := range c.cores {
-		sum += cs.host.Energy().Joules()
+		sum = sum.Add(cs.host.Energy().Total())
 	}
 	return sum
 }
+
+// TotalJoules returns the energy consumed across all cores, as the float
+// report edge of TotalEnergy.
+func (c *Cluster) TotalJoules() float64 { return c.TotalEnergy().Joules() }
 
 // Run advances the whole cluster by d, coordinating DVFS at every step.
 // Between coordination barriers the cores are independent machines, so

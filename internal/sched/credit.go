@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"math"
 
 	"pasched/internal/sim"
 	"pasched/internal/vm"
@@ -26,10 +25,18 @@ type CreditConfig struct {
 
 // creditState is the per-VM accounting, slice-backed (parallel to vms) so
 // the per-quantum Pick/Charge path involves no map operations.
+//
+// The cap percentage is a float policy input (PAS hands down compensated
+// fractional credits); it is converted to an integer-microsecond refill
+// exactly once per SetCap, and from there every budget movement is
+// integer arithmetic — charges subtract the busy microseconds, refills
+// add the precomputed refill — so bulk batched charges and per-quantum
+// charges land on bit-identical budgets.
 type creditState struct {
 	cap    float64 // current cap percentage; 0 = uncapped
-	budget float64 // microseconds left in the current period
-	used   float64 // microseconds consumed in the current period
+	refill int64   // microseconds granted per period, derived from cap
+	budget int64   // microseconds left in the current period
+	used   int64   // microseconds consumed in the current period
 }
 
 // Credit is the Xen Credit scheduler model: proportional share with hard
@@ -80,8 +87,8 @@ func (c *Credit) Add(v *vm.VM) error {
 	}
 	c.byID[v.ID()] = len(c.vms)
 	c.vms = append(c.vms, v)
-	c.st = append(c.st, creditState{cap: v.Credit()})
-	c.st[len(c.st)-1].budget = c.refillFor(len(c.st) - 1)
+	refill := c.refillMicros(v.Credit())
+	c.st = append(c.st, creditState{cap: v.Credit(), refill: refill, budget: refill})
 	return nil
 }
 
@@ -105,9 +112,11 @@ func (c *Credit) VMs() []*vm.VM {
 	return out
 }
 
-// refillFor returns one period's budget for the VM in microseconds.
-func (c *Credit) refillFor(idx int) float64 {
-	return c.st[idx].cap / 100 * float64(c.cfg.Period)
+// refillMicros converts a cap percentage to one period's budget in
+// integer microseconds — the single float-to-integer edge of the credit
+// accounting (rounded to the nearest microsecond).
+func (c *Credit) refillMicros(capPct float64) int64 {
+	return int64(capPct/100*float64(c.cfg.Period) + 0.5)
 }
 
 // Pick implements Scheduler. Selection order:
@@ -170,8 +179,8 @@ func (c *Credit) Charge(v *vm.VM, busy sim.Time, _ sim.Time) {
 	if idx < 0 {
 		return
 	}
-	c.st[idx].budget -= float64(busy)
-	c.st[idx].used += float64(busy)
+	c.st[idx].budget -= int64(busy)
+	c.st[idx].used += int64(busy)
 }
 
 // Tick implements Scheduler: it refills budgets at period boundaries.
@@ -184,7 +193,7 @@ func (c *Credit) Charge(v *vm.VM, busy sim.Time, _ sim.Time) {
 func (c *Credit) Tick(now sim.Time) {
 	for c.nextRefill <= now {
 		for i := range c.st {
-			refill := c.refillFor(i)
+			refill := c.st[i].refill
 			b := c.st[i].budget + refill
 			if b > refill {
 				b = refill
@@ -221,7 +230,7 @@ func (c *Credit) BatchPick(v *vm.VM, quantum sim.Time, max int, _ sim.Time) (int
 		return max, false
 	}
 	if b := c.st[idx].budget; b > 0 {
-		n := int(b / float64(quantum))
+		n := int(b / int64(quantum))
 		if n > max {
 			n = max
 		}
@@ -289,7 +298,7 @@ func (c *Credit) BatchPattern(quota []PatternQuota, quantum sim.Time, max int, _
 				c.st[i].cap > 0 && c.st[i].budget > 0
 		}
 		life = func(i int) int {
-			return int(math.Ceil(c.st[i].budget / float64(quantum)))
+			return int(ceilDiv(c.st[i].budget, int64(quantum)))
 		}
 	case anyUncapped:
 		cursor = &c.rrUncapped
@@ -321,10 +330,13 @@ func (c *Credit) SetCap(id vm.ID, pct float64) error {
 	if pct < 0 {
 		return fmt.Errorf("sched: negative cap %v for VM %d", pct, id)
 	}
-	old := c.st[idx].cap
-	c.st[idx].cap = pct
-	delta := (pct - old) / 100 * float64(c.cfg.Period)
-	c.st[idx].budget += delta
+	st := &c.st[idx]
+	st.cap = pct
+	refill := c.refillMicros(pct)
+	// Pro-rate the remaining budget by the integer refill difference so
+	// the new allocation takes effect immediately and exactly.
+	st.budget += refill - st.refill
+	st.refill = refill
 	return nil
 }
 
@@ -338,13 +350,14 @@ func (c *Credit) Cap(id vm.ID) (float64, error) {
 }
 
 // Budget returns the VM's remaining budget in this accounting period, in
-// microseconds of CPU time. It is exposed for tests and introspection.
-func (c *Credit) Budget(id vm.ID) (float64, error) {
+// exact microseconds of CPU time. It is exposed for tests and
+// introspection.
+func (c *Credit) Budget(id vm.ID) (sim.Time, error) {
 	idx, ok := c.byID[id]
 	if !ok {
 		return 0, fmt.Errorf("%w: id %d", ErrUnknownVM, id)
 	}
-	return c.st[idx].budget, nil
+	return sim.Time(c.st[idx].budget), nil
 }
 
 // Period returns the accounting period.

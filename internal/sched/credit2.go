@@ -237,6 +237,33 @@ func (c *Credit2) Weight(id vm.ID) (float64, error) {
 	return float64(c.st[idx].weight), nil
 }
 
+// SetWeight updates the VM's proportional-share weight at run time. The
+// Credit2-based PAS variant uses it to refresh weights at the PAS
+// cadence. The VM's runtime is rebased so its virtual runtime
+// (runtime/weight) is preserved across the change: the VM neither gains a
+// catch-up advantage nor loses already-earned service. Weights above
+// credit2MaxWeight are rejected; weights below credit2MinWeight are
+// raised to the minimum, mirroring Add.
+func (c *Credit2) SetWeight(id vm.ID, w int64) error {
+	idx, ok := c.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrUnknownVM, id)
+	}
+	if w > credit2MaxWeight {
+		return fmt.Errorf("sched: credit2 weight %d for VM %d exceeds %d", w, id, credit2MaxWeight)
+	}
+	if w < credit2MinWeight {
+		w = credit2MinWeight
+	}
+	st := &c.st[idx]
+	if w == st.weight {
+		return nil
+	}
+	st.runtime = ceilDiv(st.runtime*w, st.weight)
+	st.weight = w
+	return nil
+}
+
 // BatchPattern implements PatternBatcher. Between wake-ups and lifecycle
 // events the runnable set is static and every certified pick consumes one
 // full quantum, so the smallest-vruntime interleaving is computable in

@@ -52,7 +52,7 @@ func applyPattern(s Scheduler, picks []PatternPick, t0 sim.Time) int {
 	}
 	end := t0 + sim.Time(total)*quantum
 	for _, p := range picks {
-		p.VM.Consume(float64(p.Quanta), end)
+		p.VM.Consume(sim.Work(p.Quanta), end)
 		s.Charge(p.VM, sim.Time(p.Quanta)*quantum, end)
 	}
 	return total

@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"pasched/internal/sim"
@@ -47,11 +46,18 @@ type SEDFConfig struct {
 // sedfState is the per-VM runtime state: the current deadline and the CPU
 // time still owed within the current period. It is slice-backed (parallel
 // to vms) so the per-quantum Pick/Charge path involves no map operations.
+//
+// All accounting is exact integer microseconds, mirroring Credit2's
+// rational style (and Xen's own nanosecond accounting): remaining slice
+// time only ever has integer charges subtracted from it, so one bulk
+// batched Charge of n quanta lands on bit-identical state as n
+// per-quantum charges, which is what lets BatchPick/BatchPattern certify
+// folds against reference stepping with exact equality.
 type sedfState struct {
 	params    SEDFParams
 	deadline  sim.Time
-	remaining float64 // microseconds
-	extraUsed float64 // microseconds consumed as extratime, cumulative
+	remaining int64    // microseconds of slice time still owed this period
+	extraUsed sim.Time // CPU time consumed as extratime, cumulative
 }
 
 // SEDF is the Xen Simple Earliest Deadline First scheduler model. With the
@@ -115,7 +121,7 @@ func (s *SEDF) AddWithParams(v *vm.VM, p SEDFParams) error {
 	s.st = append(s.st, sedfState{
 		params:    p,
 		deadline:  p.Period,
-		remaining: float64(p.Slice),
+		remaining: int64(p.Slice),
 	})
 	return nil
 }
@@ -191,10 +197,10 @@ func (s *SEDF) Charge(v *vm.VM, busy sim.Time, _ sim.Time) {
 	}
 	st := &s.st[idx]
 	if st.remaining > 0 {
-		st.remaining -= float64(busy)
+		st.remaining -= int64(busy)
 		return
 	}
-	st.extraUsed += float64(busy)
+	st.extraUsed += busy
 }
 
 // Tick implements Scheduler: it rolls deadlines forward and replenishes
@@ -204,7 +210,7 @@ func (s *SEDF) Tick(now sim.Time) {
 		st := &s.st[i]
 		for st.deadline <= now {
 			st.deadline += st.params.Period
-			st.remaining = float64(st.params.Slice)
+			st.remaining = int64(st.params.Slice)
 		}
 	}
 }
@@ -236,7 +242,7 @@ func (s *SEDF) BatchPick(v *vm.VM, quantum sim.Time, max int, _ sim.Time) (int, 
 	}
 	st := &s.st[idx]
 	if st.remaining > 0 {
-		n := int(st.remaining / float64(quantum))
+		n := int(st.remaining / int64(quantum))
 		if n > max {
 			n = max
 		}
@@ -299,7 +305,7 @@ func (s *SEDF) BatchPattern(quota []PatternQuota, quantum sim.Time, max int, _ s
 			if left == 0 {
 				break
 			}
-			k := int(math.Ceil(s.st[cd.idx].remaining / float64(quantum)))
+			k := int(ceilDiv(s.st[cd.idx].remaining, int64(quantum)))
 			take := k
 			if q := patternQuotaFor(quota, s.vms[cd.idx]); q < take {
 				take = q
@@ -359,7 +365,7 @@ func (s *SEDF) SetCap(id vm.ID, pct float64) error {
 	st := &s.st[idx]
 	old := st.params.Slice
 	st.params.Slice = sim.Time(pct / 100 * float64(st.params.Period))
-	st.remaining += float64(st.params.Slice - old)
+	st.remaining += int64(st.params.Slice - old)
 	return nil
 }
 
@@ -379,5 +385,5 @@ func (s *SEDF) ExtratimeUsed(id vm.ID) (sim.Time, error) {
 	if !ok {
 		return 0, fmt.Errorf("%w: id %d", ErrUnknownVM, id)
 	}
-	return sim.Time(s.st[idx].extraUsed), nil
+	return s.st[idx].extraUsed, nil
 }

@@ -71,7 +71,7 @@ type VM struct {
 
 	paused  bool
 	cpuTime sim.Time // total busy CPU time granted to the VM
-	work    float64  // total work units executed
+	work    sim.Work // total work executed
 }
 
 // New creates a VM with the given identity and configuration, initially
@@ -143,11 +143,11 @@ func (v *VM) Resume() { v.paused = false }
 // Paused reports whether the VM is paused.
 func (v *VM) Paused() bool { return v.paused }
 
-// Consume lets the VM execute up to max work units ending at time now,
-// returning the amount executed. busyFor is the CPU time the execution
-// occupied, which the caller computes from the processor throughput and
-// accounts via AddCPUTime.
-func (v *VM) Consume(max float64, now sim.Time) float64 {
+// Consume lets the VM execute up to max work ending at time now,
+// returning the amount executed. The CPU time the execution occupied is
+// computed by the caller from the processor work rate and accounted via
+// AddCPUTime.
+func (v *VM) Consume(max sim.Work, now sim.Time) sim.Work {
 	done := v.wl.Consume(max, now)
 	v.work += done
 	return done
@@ -163,8 +163,8 @@ func (v *VM) AddCPUTime(d sim.Time) {
 // CPUTime returns the total busy CPU time granted so far.
 func (v *VM) CPUTime() sim.Time { return v.cpuTime }
 
-// WorkDone returns the total work units executed so far.
-func (v *VM) WorkDone() float64 { return v.work }
+// WorkDone returns the total work executed so far.
+func (v *VM) WorkDone() sim.Work { return v.work }
 
 // String renders the VM as "V20(id=1, credit=20%)".
 func (v *VM) String() string {

@@ -26,9 +26,10 @@ type TracePoint struct {
 type TraceWorkload struct {
 	points   []TracePoint
 	lastTick sim.Time
-	queue    float64
-	maxQueue float64
-	served   float64
+	queue    sim.Work
+	carry    float64 // sub-milli-unit integration residue, in [0, 1)
+	maxQueue sim.Work
+	served   sim.Work
 }
 
 // NewTraceWorkload builds a replayed workload from points sorted by start
@@ -50,7 +51,7 @@ func NewTraceWorkload(points []TracePoint, maxBacklog float64) (*TraceWorkload, 
 	}
 	cp := make([]TracePoint, len(points))
 	copy(cp, points)
-	return &TraceWorkload{points: cp, maxQueue: maxBacklog}, nil
+	return &TraceWorkload{points: cp, maxQueue: sim.WorkFromUnits(maxBacklog)}, nil
 }
 
 // maxTraceSeconds bounds the seconds field of a parsed trace line,
@@ -125,7 +126,13 @@ func (w *TraceWorkload) Tick(now sim.Time) {
 		if i < len(w.points) && w.points[i].Start < end {
 			end = w.points[i].Start
 		}
-		w.queue += w.rateAt(t) * (end - t).Seconds()
+		// Materialize the integer milli-units and carry the sub-unit
+		// residue, so accrual never drifts from the integrated demand by
+		// more than one milli-unit regardless of tick granularity.
+		w.carry += w.rateAt(t) * (end - t).Seconds() * float64(sim.WorkUnit)
+		whole := sim.Work(w.carry)
+		w.carry -= float64(whole)
+		w.queue += whole
 		t = end
 	}
 	if w.maxQueue > 0 && w.queue > w.maxQueue {
@@ -135,10 +142,10 @@ func (w *TraceWorkload) Tick(now sim.Time) {
 }
 
 // Pending implements Workload.
-func (w *TraceWorkload) Pending() float64 { return w.queue }
+func (w *TraceWorkload) Pending() sim.Work { return w.queue }
 
 // Consume implements Workload.
-func (w *TraceWorkload) Consume(max float64, _ sim.Time) float64 {
+func (w *TraceWorkload) Consume(max sim.Work, _ sim.Time) sim.Work {
 	if max <= 0 || w.queue <= 0 {
 		return 0
 	}
@@ -152,7 +159,7 @@ func (w *TraceWorkload) Consume(max float64, _ sim.Time) float64 {
 }
 
 // Served returns the total work executed.
-func (w *TraceWorkload) Served() float64 { return w.served }
+func (w *TraceWorkload) Served() sim.Work { return w.served }
 
 // NextChange implements Forecaster. The trace accrues work continuously
 // while a segment's rate is positive, so only zero-rate stretches are
@@ -220,7 +227,7 @@ func (b *Burst) Tick(now sim.Time) {
 }
 
 // Pending implements Workload.
-func (b *Burst) Pending() float64 {
+func (b *Burst) Pending() sim.Work {
 	if !b.active() {
 		return 0
 	}
@@ -228,7 +235,7 @@ func (b *Burst) Pending() float64 {
 }
 
 // Consume implements Workload.
-func (b *Burst) Consume(max float64, now sim.Time) float64 {
+func (b *Burst) Consume(max sim.Work, now sim.Time) sim.Work {
 	if !b.active() {
 		return 0
 	}

@@ -39,18 +39,18 @@ func TestTraceWorkloadIntegratesExactly(t *testing.T) {
 	}
 	// Tick across a rate boundary: integration must split the segments.
 	w.Tick(3 * sim.Second)
-	if got := w.Pending(); math.Abs(got-250) > 1e-9 {
-		t.Errorf("Pending after 3s = %v, want 250", got)
+	if got := w.Pending(); got != 250*sim.WorkUnit {
+		t.Errorf("Pending after 3s = %v, want 250 units", got)
 	}
 	w.Tick(10 * sim.Second)
-	if got := w.Pending(); math.Abs(got-300) > 1e-9 {
-		t.Errorf("Pending after 10s = %v, want 300", got)
+	if got := w.Pending(); got != 300*sim.WorkUnit {
+		t.Errorf("Pending after 10s = %v, want 300 units", got)
 	}
-	if got := w.Consume(1000, 10*sim.Second); math.Abs(got-300) > 1e-9 {
-		t.Errorf("Consume = %v, want 300", got)
+	if got := w.Consume(1000*sim.WorkUnit, 10*sim.Second); got != 300*sim.WorkUnit {
+		t.Errorf("Consume = %v, want 300 units", got)
 	}
-	if w.Served() != 300 {
-		t.Errorf("Served = %v, want 300", w.Served())
+	if w.Served() != 300*sim.WorkUnit {
+		t.Errorf("Served = %v, want 300 units", w.Served())
 	}
 }
 
@@ -60,8 +60,8 @@ func TestTraceWorkloadBacklogBound(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.Tick(10 * sim.Second)
-	if w.Pending() != 500 {
-		t.Errorf("Pending = %v, want 500 (bounded)", w.Pending())
+	if w.Pending() != 500*sim.WorkUnit {
+		t.Errorf("Pending = %v, want 500 units (bounded)", w.Pending())
 	}
 }
 
@@ -88,8 +88,8 @@ func TestParseTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.Tick(10 * sim.Second)
-	want := 100*2.5 + 50*2.5
-	if got := w.Pending(); math.Abs(got-want) > 1e-6 {
+	want := sim.WorkFromUnits(100*2.5 + 50*2.5)
+	if got := w.Pending(); got != want {
 		t.Errorf("Pending = %v, want %v", got, want)
 	}
 }

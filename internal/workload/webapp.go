@@ -65,11 +65,12 @@ type WebApp struct {
 	haveNext   bool
 	exhausted  bool // no positive-rate phase remains past procT
 	lastTick   sim.Time
-	queue      float64
-	offered    int64   // requests offered
-	dropped    int64   // requests dropped due to backlog bound
-	completed  float64 // work units served
-	maxBacklog float64
+	queue      sim.Work
+	cost       sim.Work // per-request CPU cost, converted once at construction
+	offered    int64    // requests offered
+	dropped    int64    // requests dropped due to backlog bound
+	completed  sim.Work // work served
+	maxBacklog sim.Work
 }
 
 var _ Workload = (*WebApp)(nil)
@@ -109,7 +110,8 @@ func NewWebApp(cfg WebAppConfig) (*WebApp, error) {
 	w := &WebApp{
 		cfg:        cfg,
 		rng:        sim.NewRNG(cfg.Seed),
-		maxBacklog: maxBacklog,
+		cost:       sim.WorkFromUnits(cfg.RequestCost),
+		maxBacklog: sim.WorkFromUnits(maxBacklog),
 	}
 	w.advance()
 	return w, nil
@@ -199,15 +201,15 @@ func (w *WebApp) nextPositiveStart(t sim.Time) (sim.Time, bool) {
 
 func (w *WebApp) arrive() {
 	w.offered++
-	if w.maxBacklog > 0 && w.queue+w.cfg.RequestCost > w.maxBacklog {
+	if w.maxBacklog > 0 && w.queue+w.cost > w.maxBacklog {
 		w.dropped++
 		return
 	}
-	w.queue += w.cfg.RequestCost
+	w.queue += w.cost
 }
 
 // Pending implements Workload.
-func (w *WebApp) Pending() float64 { return w.queue }
+func (w *WebApp) Pending() sim.Work { return w.queue }
 
 // NextChange implements Forecaster. The renewal chain always holds the
 // exact next arrival (or is exhausted), independent of tick granularity,
@@ -223,7 +225,7 @@ func (w *WebApp) NextChange(sim.Time) sim.Time {
 }
 
 // Consume implements Workload.
-func (w *WebApp) Consume(max float64, _ sim.Time) float64 {
+func (w *WebApp) Consume(max sim.Work, _ sim.Time) sim.Work {
 	if max <= 0 || w.queue <= 0 {
 		return 0
 	}
@@ -242,8 +244,8 @@ func (w *WebApp) Offered() int64 { return w.offered }
 // Dropped returns the number of requests rejected by the backlog bound.
 func (w *WebApp) Dropped() int64 { return w.dropped }
 
-// CompletedWork returns the work units served so far.
-func (w *WebApp) CompletedWork() float64 { return w.completed }
+// CompletedWork returns the work served so far.
+func (w *WebApp) CompletedWork() sim.Work { return w.completed }
 
 // ExactRate returns the request rate that makes the offered load equal to
 // exactly pct percent of a processor with maximum-frequency throughput

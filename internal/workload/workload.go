@@ -13,7 +13,11 @@
 //
 // Work is measured in abstract work units: one unit is one processor cycle
 // at nominal efficiency, so a processor at frequency f MHz with efficiency
-// e delivers f*1e6*e units per simulated second.
+// e delivers f*1e6*e units per simulated second. All queue state is exact
+// integer sim.Work (milli-work-units); float-specified sizes (request
+// costs, job lengths, backlog bounds) are converted once at construction,
+// so consumption arithmetic is associative and a batched stretch drains a
+// queue bit-identically to quantum-by-quantum consumption.
 package workload
 
 import (
@@ -31,13 +35,13 @@ import (
 type Workload interface {
 	// Tick advances internal bookkeeping (arrivals, phases) to now.
 	Tick(now sim.Time)
-	// Pending returns the amount of runnable work in work units. A VM is
-	// runnable whenever its workload has pending work.
-	Pending() float64
-	// Consume removes up to max work units, returning the amount actually
+	// Pending returns the amount of runnable work. A VM is runnable
+	// whenever its workload has pending work.
+	Pending() sim.Work
+	// Consume removes up to max work, returning the amount actually
 	// consumed. now is the simulated time at the end of the consumption
 	// interval, used for completion bookkeeping.
-	Consume(max float64, now sim.Time) float64
+	Consume(max sim.Work, now sim.Time) sim.Work
 }
 
 // Forecaster is implemented by workloads that can promise when their
@@ -65,10 +69,10 @@ type Idle struct{}
 func (Idle) Tick(sim.Time) {}
 
 // Pending implements Workload.
-func (Idle) Pending() float64 { return 0 }
+func (Idle) Pending() sim.Work { return 0 }
 
 // Consume implements Workload.
-func (Idle) Consume(float64, sim.Time) float64 { return 0 }
+func (Idle) Consume(sim.Work, sim.Time) sim.Work { return 0 }
 
 // NextChange implements Forecaster: an idle workload never gains work.
 func (Idle) NextChange(sim.Time) sim.Time { return sim.Never }
@@ -76,17 +80,17 @@ func (Idle) NextChange(sim.Time) sim.Time { return sim.Never }
 // Hog is an always-runnable CPU hog with unbounded work, used by the
 // calibration procedures where the paper saturates a VM.
 type Hog struct {
-	consumed float64
+	consumed sim.Work
 }
 
 // Tick implements Workload.
 func (h *Hog) Tick(sim.Time) {}
 
 // Pending implements Workload. A hog always has work.
-func (h *Hog) Pending() float64 { return 1e18 }
+func (h *Hog) Pending() sim.Work { return sim.MaxWork }
 
 // Consume implements Workload.
-func (h *Hog) Consume(max float64, _ sim.Time) float64 {
+func (h *Hog) Consume(max sim.Work, _ sim.Time) sim.Work {
 	if max < 0 {
 		return 0
 	}
@@ -95,7 +99,7 @@ func (h *Hog) Consume(max float64, _ sim.Time) float64 {
 }
 
 // Consumed returns the total work executed by the hog.
-func (h *Hog) Consumed() float64 { return h.consumed }
+func (h *Hog) Consumed() sim.Work { return h.consumed }
 
 // NextChange implements Forecaster: a hog's backlog only moves through
 // Consume.
@@ -104,21 +108,22 @@ func (h *Hog) NextChange(sim.Time) sim.Time { return sim.Never }
 // PiApp is a fixed amount of CPU-bound work. Its completion time is the
 // execution-time metric used by Figure 1 and Table 2.
 type PiApp struct {
-	total     float64
-	remaining float64
+	total     sim.Work
+	remaining sim.Work
 	started   bool
 	startAt   sim.Time
 	done      bool
 	doneAt    sim.Time
 }
 
-// NewPiApp returns a pi computation of total work units. It returns an
-// error if work is not positive.
+// NewPiApp returns a pi computation of total work units (converted once to
+// exact integer sim.Work). It returns an error if work is not positive.
 func NewPiApp(work float64) (*PiApp, error) {
 	if work <= 0 {
 		return nil, fmt.Errorf("workload: pi-app work must be positive, got %v", work)
 	}
-	return &PiApp{total: work, remaining: work}, nil
+	w := sim.WorkFromUnits(work)
+	return &PiApp{total: w, remaining: w}, nil
 }
 
 // PiWorkFor returns the amount of work that takes seconds of execution time
@@ -134,10 +139,10 @@ func PiWorkFor(maxThroughput, pct, seconds float64) float64 {
 func (p *PiApp) Tick(sim.Time) {}
 
 // Pending implements Workload.
-func (p *PiApp) Pending() float64 { return p.remaining }
+func (p *PiApp) Pending() sim.Work { return p.remaining }
 
 // Consume implements Workload.
-func (p *PiApp) Consume(max float64, now sim.Time) float64 {
+func (p *PiApp) Consume(max sim.Work, now sim.Time) sim.Work {
 	if p.done || max <= 0 {
 		return 0
 	}
@@ -169,7 +174,7 @@ func (p *PiApp) CompletionTime() (sim.Time, bool) {
 
 // Progress returns the fraction of the total work already executed.
 func (p *PiApp) Progress() float64 {
-	return (p.total - p.remaining) / p.total
+	return float64(p.total-p.remaining) / float64(p.total)
 }
 
 // NextChange implements Forecaster: the fixed work pool only drains

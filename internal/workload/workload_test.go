@@ -47,15 +47,15 @@ func TestPiAppLifecycle(t *testing.T) {
 	if _, ok := p.CompletionTime(); ok {
 		t.Fatal("CompletionTime set before completion")
 	}
-	if got := p.Consume(600, sim.Second); got != 600 {
-		t.Errorf("Consume = %v, want 600", got)
+	if got := p.Consume(600*sim.WorkUnit, sim.Second); got != 600*sim.WorkUnit {
+		t.Errorf("Consume = %v, want 600 units", got)
 	}
 	if p.Progress() != 0.6 {
 		t.Errorf("Progress = %v, want 0.6", p.Progress())
 	}
 	// Consuming more than remains returns only the remainder.
-	if got := p.Consume(600, 2*sim.Second); got != 400 {
-		t.Errorf("Consume = %v, want 400", got)
+	if got := p.Consume(600*sim.WorkUnit, 2*sim.Second); got != 400*sim.WorkUnit {
+		t.Errorf("Consume = %v, want 400 units", got)
 	}
 	if !p.Done() {
 		t.Error("PiApp not done after consuming all work")
@@ -65,7 +65,7 @@ func TestPiAppLifecycle(t *testing.T) {
 		t.Errorf("CompletionTime = %v, %v; want 2s, true", at, ok)
 	}
 	// Finished apps consume nothing.
-	if p.Consume(10, 3*sim.Second) != 0 {
+	if p.Consume(10*sim.WorkUnit, 3*sim.Second) != 0 {
 		t.Error("finished PiApp consumed work")
 	}
 }
@@ -132,8 +132,8 @@ func TestWebAppDeterministicArrivals(t *testing.T) {
 	if got := w.Offered(); got < 49 || got > 50 {
 		t.Errorf("Offered = %d, want ~50", got)
 	}
-	if w.Pending() != float64(w.Offered())*100 {
-		t.Errorf("Pending = %v, want %v", w.Pending(), float64(w.Offered())*100)
+	if w.Pending() != sim.Work(w.Offered())*100*sim.WorkUnit {
+		t.Errorf("Pending = %v, want %v", w.Pending(), sim.Work(w.Offered())*100*sim.WorkUnit)
 	}
 }
 
@@ -194,8 +194,8 @@ func TestWebAppBacklogBound(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.Tick(10 * sim.Second)
-	if w.Pending() > 500 {
-		t.Errorf("Pending = %v exceeds backlog bound 500", w.Pending())
+	if w.Pending() > 500*sim.WorkUnit {
+		t.Errorf("Pending = %v exceeds backlog bound of 500 units", w.Pending())
 	}
 	if w.Dropped() == 0 {
 		t.Error("no drops despite overload and small backlog")
@@ -307,18 +307,19 @@ func TestQuickPiAppConservation(t *testing.T) {
 	// the app is done exactly when the sum reaches the total.
 	f := func(chunks []uint16) bool {
 		const total = 50000.0
+		totalWork := sim.WorkFromUnits(total)
 		p, err := NewPiApp(total)
 		if err != nil {
 			return false
 		}
-		sum := 0.0
+		sum := sim.Work(0)
 		for i, c := range chunks {
-			sum += p.Consume(float64(c), sim.Time(i)*sim.Millisecond)
-			if sum > total+1e-6 {
+			sum += p.Consume(sim.Work(c)*sim.WorkUnit, sim.Time(i)*sim.Millisecond)
+			if sum > totalWork {
 				return false
 			}
 		}
-		return p.Done() == (sum >= total-1e-6)
+		return p.Done() == (sum >= totalWork)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)

@@ -73,6 +73,9 @@ type (
 	Workload = workload.Workload
 	// PAS is the paper's Power-Aware Scheduler.
 	PAS = core.PAS
+
+	// PASCredit2 is the Credit2-based PAS variant (weight enforcement).
+	PASCredit2 = core.PASCredit2
 	// Series is a named time series recorded by the host.
 	Series = metrics.Series
 	// Recorder is the host's collection of recorded series.

@@ -18,6 +18,7 @@ type System struct {
 	host *host.Host
 	cpu  *cpufreq.CPU
 	pas  *core.PAS
+	pc2  *core.PASCredit2
 	next vm.ID
 }
 
@@ -25,14 +26,15 @@ type System struct {
 type Option func(*systemConfig) error
 
 type systemConfig struct {
-	profile   *cpufreq.Profile
-	scheduler sched.Scheduler
-	governor  governor.Governor
-	pas       bool
-	pasCF     []float64
-	quantum   sim.Time
-	dom0      bool
-	reference bool
+	profile    *cpufreq.Profile
+	scheduler  sched.Scheduler
+	governor   governor.Governor
+	pas        bool
+	pasCredit2 bool
+	pasCF      []float64
+	quantum    sim.Time
+	dom0       bool
+	reference  bool
 }
 
 // WithProfile selects the processor architecture. Default: Optiplex755.
@@ -54,7 +56,7 @@ func WithScheduler(s Scheduler) Option {
 		if s == nil {
 			return fmt.Errorf("pasched: nil scheduler")
 		}
-		if c.scheduler != nil || c.pas {
+		if c.scheduler != nil || c.pas || c.pasCredit2 {
 			return fmt.Errorf("pasched: scheduler already configured")
 		}
 		c.scheduler = s
@@ -66,7 +68,7 @@ func WithScheduler(s Scheduler) Option {
 // VM's credit is guaranteed and hard-capped.
 func WithCreditScheduler() Option {
 	return func(c *systemConfig) error {
-		if c.scheduler != nil || c.pas {
+		if c.scheduler != nil || c.pas || c.pasCredit2 {
 			return fmt.Errorf("pasched: scheduler already configured")
 		}
 		c.scheduler = sched.NewCredit(sched.CreditConfig{})
@@ -78,7 +80,7 @@ func WithCreditScheduler() Option {
 // (variable credit): unused slices are donated to busy VMs.
 func WithSEDFScheduler() Option {
 	return func(c *systemConfig) error {
-		if c.scheduler != nil || c.pas {
+		if c.scheduler != nil || c.pas || c.pasCredit2 {
 			return fmt.Errorf("pasched: scheduler already configured")
 		}
 		c.scheduler = sched.NewSEDF(sched.SEDFConfig{DefaultExtratime: true})
@@ -90,10 +92,25 @@ func WithSEDFScheduler() Option {
 // with per-tick DVFS management and frequency-compensated credits.
 func WithPAS() Option {
 	return func(c *systemConfig) error {
-		if c.scheduler != nil {
+		if c.scheduler != nil || c.pasCredit2 {
 			return fmt.Errorf("pasched: scheduler already configured")
 		}
 		c.pas = true
+		return nil
+	}
+}
+
+// WithPASCredit2 selects the Credit2-based PAS variant: the same
+// per-tick DVFS policy as PAS, but enforcement through
+// weight-proportional work-conserving Credit2 scheduling (weights
+// refreshed from the contracted credits at the PAS cadence) instead of
+// hard compensated caps.
+func WithPASCredit2() Option {
+	return func(c *systemConfig) error {
+		if c.scheduler != nil || c.pas {
+			return fmt.Errorf("pasched: scheduler already configured")
+		}
+		c.pasCredit2 = true
 		return nil
 	}
 }
@@ -185,10 +202,10 @@ func NewSystem(opts ...Option) (*System, error) {
 	if cfg.profile == nil {
 		cfg.profile = cpufreq.Optiplex755()
 	}
-	if cfg.scheduler == nil && !cfg.pas {
+	if cfg.scheduler == nil && !cfg.pas && !cfg.pasCredit2 {
 		cfg.pas = true
 	}
-	if cfg.pas && cfg.governor != nil {
+	if (cfg.pas || cfg.pasCredit2) && cfg.governor != nil {
 		return nil, fmt.Errorf("pasched: PAS manages DVFS itself; do not install a governor")
 	}
 
@@ -197,17 +214,25 @@ func NewSystem(opts ...Option) (*System, error) {
 		return nil, err
 	}
 	var pas *core.PAS
+	var pc2 *core.PASCredit2
 	s := cfg.scheduler
+	cf := cfg.pasCF
+	if cf == nil {
+		cf = cfg.profile.EfficiencyTable()
+	}
 	if cfg.pas {
-		cf := cfg.pasCF
-		if cf == nil {
-			cf = cfg.profile.EfficiencyTable()
-		}
 		pas, err = core.NewPAS(core.PASConfig{CPU: cpu, CF: cf})
 		if err != nil {
 			return nil, err
 		}
 		s = pas
+	}
+	if cfg.pasCredit2 {
+		pc2, err = core.NewPASCredit2(core.PASCredit2Config{CPU: cpu, CF: cf})
+		if err != nil {
+			return nil, err
+		}
+		s = pc2
 	}
 	h, err := host.New(host.Config{
 		CPU:       cpu,
@@ -222,7 +247,10 @@ func NewSystem(opts ...Option) (*System, error) {
 	if pas != nil {
 		pas.BindLoadSource(h)
 	}
-	sys := &System{host: h, cpu: cpu, pas: pas, next: 1}
+	if pc2 != nil {
+		pc2.BindLoadSource(h)
+	}
+	sys := &System{host: h, cpu: cpu, pas: pas, pc2: pc2, next: 1}
 	if cfg.dom0 {
 		dom0, err := vm.New(0, vm.Config{Name: "Dom0", Credit: 10, Priority: 1})
 		if err != nil {
@@ -269,6 +297,10 @@ func (s *System) CPU() *CPU { return s.cpu }
 // PAS returns the PAS scheduler, or nil when another scheduler was
 // selected.
 func (s *System) PAS() *PAS { return s.pas }
+
+// PASCredit2 returns the Credit2-based PAS scheduler, or nil when
+// another scheduler was selected.
+func (s *System) PASCredit2() *PASCredit2 { return s.pc2 }
 
 // Recorder returns the recorded time series (loads, frequency, caps).
 func (s *System) Recorder() *Recorder { return s.host.Recorder() }
