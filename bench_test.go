@@ -178,29 +178,16 @@ func BenchmarkExtConsolidation(b *testing.B) {
 	runExperiment(b, "ext-consolidation")
 }
 
-// BenchmarkFleetRun measures the trace-driven datacenter simulator: one
-// op builds a 200-machine heterogeneous fleet and drives 1000 VM
-// lifecycles through it for a 120 s horizon under the DVFS-aware policy
-// with PAS machines — the configuration where placement, migration,
-// power management and per-host batching all engage.
-func BenchmarkFleetRun(b *testing.B) {
-	const horizon = 120 * sim.Second
-	trace, err := fleet.Generate(fleet.GenConfig{Seed: 42, Arrivals: 1000, Horizon: horizon})
-	if err != nil {
-		b.Fatal(err)
-	}
-	machines := fleet.DefaultEstate(200)
+// benchFleet drives one fleet configuration per benchmark iteration and
+// reports batching/SLA metrics plus allocations (allocs/op regressions
+// in the arrival/interval hot paths surface in BENCH_ci.json).
+func benchFleet(b *testing.B, trace *fleet.Trace, cfg fleet.Config, horizon sim.Time) {
+	b.Helper()
+	b.ReportAllocs()
 	b.ResetTimer()
 	var rep *fleet.Report
 	for i := 0; i < b.N; i++ {
-		fl, err := fleet.New(fleet.Config{
-			Machines:         machines,
-			UsePAS:           true,
-			Policy:           fleet.NewDVFSAware(),
-			ReportEvery:      30 * sim.Second,
-			ConsolidateEvery: 60 * sim.Second,
-			Seed:             42,
-		}, trace)
+		fl, err := fleet.New(cfg, trace)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -214,6 +201,68 @@ func BenchmarkFleetRun(b *testing.B) {
 	}
 	b.ReportMetric(float64(rep.Summary.BatchedQuanta), "batched_quanta/op")
 	b.ReportMetric(rep.Summary.OverallSLA*100, "overall_sla_pct")
+}
+
+// BenchmarkFleetRun measures the trace-driven datacenter simulator.
+//
+// s1 and s8 drive the historical 200-machine, 1000-lifecycle scenario
+// under the DVFS-aware policy with PAS machines — the configuration
+// where placement, migration, power management and per-host batching
+// all engage — through one inline shard (s1, the no-regression gate)
+// and eight worker-stepped shards (s8, the multi-core speedup; both
+// produce bit-identical reports).
+//
+// large is the datacenter-scale class: 50k machines, 500k VM
+// lifecycles, sharded with streaming discard so memory stays
+// O(machines + live VMs). First-fit placement — the O(active-prefix)
+// scan — keeps per-arrival cost feasible at this machine count.
+func BenchmarkFleetRun(b *testing.B) {
+	const horizon = 120 * sim.Second
+	trace, err := fleet.Generate(fleet.GenConfig{Seed: 42, Arrivals: 1000, Horizon: horizon})
+	if err != nil {
+		b.Fatal(err)
+	}
+	machines := fleet.DefaultEstate(200)
+	base := fleet.Config{
+		Machines:         machines,
+		UsePAS:           true,
+		Policy:           fleet.NewDVFSAware(),
+		ReportEvery:      30 * sim.Second,
+		ConsolidateEvery: 60 * sim.Second,
+		Seed:             42,
+	}
+	b.Run("s1", func(b *testing.B) {
+		cfg := base
+		cfg.Shards, cfg.Workers = 1, 1
+		benchFleet(b, trace, cfg, horizon)
+	})
+	b.Run("s8", func(b *testing.B) {
+		cfg := base
+		cfg.Shards, cfg.Workers = 8, 8
+		benchFleet(b, trace, cfg, horizon)
+	})
+	b.Run("large", func(b *testing.B) {
+		const largeHorizon = 300 * sim.Second
+		largeTrace, err := fleet.Generate(fleet.GenConfig{
+			Seed:         42,
+			Arrivals:     500_000,
+			Horizon:      largeHorizon,
+			MeanLifetime: 30 * sim.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchFleet(b, largeTrace, fleet.Config{
+			Machines:         fleet.DefaultEstate(50_000),
+			UsePAS:           true,
+			Policy:           fleet.NewFirstFit(),
+			ReportEvery:      60 * sim.Second,
+			ConsolidateEvery: 120 * sim.Second,
+			Shards:           8,
+			Seed:             42,
+			DiscardReport:    true,
+		}, largeHorizon)
+	})
 }
 
 // reportCheck reports a named check's measured value as a metric.

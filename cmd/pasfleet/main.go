@@ -9,6 +9,12 @@
 //	pasfleet -machines 1000 -arrivals 5000 -horizon 600 -policy dvfs-aware
 //	pasfleet -trace trace.csv -sched credit -csv intervals.csv -json report.json
 //	pasfleet -arrivals 200 -write-trace trace.csv
+//	pasfleet -machines 1000000 -shards 8 -stream csv:intervals.csv -no-report
+//
+// Large estates run sharded (-shards, -workers) with streaming output
+// (-stream) so memory stays proportional to the live fleet, not to the
+// run's history. The report is bit-identical for every shard and worker
+// count.
 //
 // Exit status is non-zero on simulation errors, making the command
 // usable as a smoke gate in CI.
@@ -19,6 +25,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 
 	"pasched/internal/fleet"
 	"pasched/internal/metrics"
@@ -41,17 +50,22 @@ func run(args []string, out, errOut io.Writer) int {
 		schedName   = fs.String("sched", "pas", "per-machine scheduler: "+fleet.SchedulerNames)
 		report      = fs.Float64("report", 30, "reporting interval in seconds")
 		consolidate = fs.Float64("consolidate", 120, "consolidation interval in seconds (0 disables)")
-		workers     = fs.Int("workers", 0, "parallel workers at reporting barriers (0 = GOMAXPROCS)")
+		shards      = fs.Int("shards", 0, "machine shards stepped by independent workers (0 = one per worker)")
+		workers     = fs.Int("workers", 0, "concurrent shard workers (0 = GOMAXPROCS)")
+		stream      = fs.String("stream", "", "stream results incrementally: csv[:path] or jsonl[:path] (default stdout)")
+		noReport    = fs.Bool("no-report", false, "discard the in-memory report (memory stays O(machines); use with -stream)")
 		tracePath   = fs.String("trace", "", "read the VM lifecycle trace from this CSV instead of generating")
 		writeTrace  = fs.String("write-trace", "", "write the generated trace as CSV to this file and exit")
 		csvPath     = fs.String("csv", "", "write the interval curves as CSV to this file")
 		jsonPath    = fs.String("json", "", "write the full report as JSON to this file")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	// Validate the scheduler choice before any trace or fleet work, so a
-	// typo fails immediately with the accepted names instead of deep in
+	// Validate choice flags before any trace or fleet work, so a typo
+	// fails immediately with the accepted values instead of deep in
 	// machine construction. The empty string is valid for the library
 	// (it defers to Config.UsePAS) but an empty -sched on the CLI is a
 	// mistake, e.g. an unset shell variable.
@@ -59,6 +73,54 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintf(errOut, "pasfleet: unknown scheduler %q (accepted: %s)\n",
 			*schedName, fleet.SchedulerNames)
 		return 2
+	}
+	if *shards < 0 {
+		fmt.Fprintf(errOut, "pasfleet: invalid shard count %d (accepted: 0 for one per worker, or a positive count)\n", *shards)
+		return 2
+	}
+	streamFormat, streamPath, ok := parseStream(*stream)
+	if !ok {
+		fmt.Fprintf(errOut, "pasfleet: invalid stream spec %q (accepted: csv, jsonl, csv:path, jsonl:path)\n", *stream)
+		return 2
+	}
+	if *noReport && *stream == "" && *csvPath == "" && *jsonPath == "" {
+		fmt.Fprintln(errOut, "pasfleet: -no-report without -stream discards every result; add -stream csv[:path] or jsonl[:path]")
+		return 2
+	}
+	if *noReport && (*csvPath != "" || *jsonPath != "") {
+		fmt.Fprintln(errOut, "pasfleet: -no-report conflicts with -csv/-json (they render the buffered report); use -stream")
+		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(errOut, err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(errOut, err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(errOut, err)
+			}
+			f.Close()
+		}()
 	}
 
 	var tr *fleet.Trace
@@ -96,14 +158,39 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, err)
 		return 1
 	}
+
+	var sinks []fleet.Sink
+	var streamFile *os.File
+	if streamFormat != "" {
+		w := out
+		if streamPath != "" {
+			streamFile, err = os.Create(streamPath)
+			if err != nil {
+				fmt.Fprintln(errOut, err)
+				return 1
+			}
+			defer streamFile.Close()
+			w = streamFile
+		}
+		switch streamFormat {
+		case "csv":
+			sinks = append(sinks, fleet.NewCSVSink(w))
+		case "jsonl":
+			sinks = append(sinks, fleet.NewJSONLSink(w))
+		}
+	}
+
 	fl, err := fleet.New(fleet.Config{
 		Machines:         fleet.DefaultEstate(*machines),
 		Scheduler:        *schedName,
 		Policy:           policy,
 		ReportEvery:      sim.FromSeconds(*report),
 		ConsolidateEvery: sim.FromSeconds(*consolidate),
+		Shards:           *shards,
 		Workers:          *workers,
 		Seed:             *seed,
+		Sinks:            sinks,
+		DiscardReport:    *noReport,
 	}, tr)
 	if err != nil {
 		fmt.Fprintln(errOut, err)
@@ -114,8 +201,17 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, err)
 		return 1
 	}
+	if streamFile != nil {
+		if err := streamFile.Close(); err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+	}
 
-	printSummary(out, rep)
+	// When streaming to stdout, keep it machine-readable: no table.
+	if streamFormat == "" || streamPath != "" {
+		printSummary(out, rep)
+	}
 	if *csvPath != "" {
 		if err := writeFile(*csvPath, rep.WriteCSV); err != nil {
 			fmt.Fprintln(errOut, err)
@@ -129,6 +225,23 @@ func run(args []string, out, errOut io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// parseStream splits a -stream spec into format and optional path.
+// Accepted: "", "csv", "jsonl", "csv:path", "jsonl:path".
+func parseStream(spec string) (format, path string, ok bool) {
+	if spec == "" {
+		return "", "", true
+	}
+	format, path, _ = strings.Cut(spec, ":")
+	switch format {
+	case "csv", "jsonl":
+		if strings.Contains(spec, ":") && path == "" {
+			return "", "", false
+		}
+		return format, path, true
+	}
+	return "", "", false
 }
 
 // writeFile creates path and streams write into it.

@@ -1,9 +1,10 @@
 package fleet
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"pasched/internal/consolidation"
 	"pasched/internal/cpufreq"
@@ -12,7 +13,6 @@ import (
 	"pasched/internal/host"
 	"pasched/internal/sim"
 	"pasched/internal/vm"
-	"pasched/internal/workload"
 )
 
 // MachineClass is one hardware class of the fleet: Count identical
@@ -70,9 +70,9 @@ type Config struct {
 	// Policy decides placement (and consolidation targets). Default
 	// first-fit.
 	Policy Policy
-	// ReportEvery is the reporting barrier interval: all powered-on
-	// machines synchronize, energy and SLA roll up into one interval
-	// sample, and empty machines power off. Default 30 s.
+	// ReportEvery is the reporting barrier interval: all shards
+	// synchronize, energy and SLA reduce into one interval sample, and
+	// empty machines power off. Default 30 s.
 	ReportEvery sim.Time
 	// ConsolidateEvery enables periodic consolidation: every interval the
 	// fleet tries to empty its least-loaded machine through live
@@ -82,10 +82,18 @@ type Config struct {
 	// MigrationBandwidthMBps is the live-migration pre-copy bandwidth;
 	// default consolidation.DefaultMigrationBandwidthMBps.
 	MigrationBandwidthMBps float64
-	// Workers bounds how many machines catch up concurrently at a
-	// reporting barrier. Machines are fully independent hosts between
-	// barriers, so the simulation result is identical for any worker
-	// count. Zero selects GOMAXPROCS; 1 forces sequential stepping.
+	// Shards partitions the machines round-robin into independently
+	// stepped shards, each with its own event queue and persistent
+	// worker. Every cross-shard operation is resolved by the sequential
+	// coordinator in (time, seq) order, and all reductions are exact
+	// integers, so the report is bit-identical for every shard count.
+	// Zero selects one shard per worker; values above the machine count
+	// are clamped to it.
+	Shards int
+	// Workers bounds how many shard workers execute simultaneously.
+	// The simulation result is identical for any worker count. Zero
+	// selects GOMAXPROCS; 1 executes every command inline on the
+	// coordinator with no goroutines at all.
 	Workers int
 	// Seed seeds the per-VM workload arrival processes.
 	Seed uint64
@@ -96,6 +104,15 @@ type Config struct {
 	// quantum-by-quantum stepping path (host.Config.Reference), the
 	// baseline the batched==reference equivalence tests compare against.
 	Reference bool
+	// Sinks receive the report stream incrementally: every interval
+	// sample, every per-VM outcome, and the final summary, in
+	// deterministic order. See Sink.
+	Sinks []Sink
+	// DiscardReport drops the in-memory interval and per-VM buffers:
+	// Run's Report carries only the Summary, and memory stays
+	// O(machines + live VMs) instead of O(history) — the mode for
+	// million-machine runs combined with streaming Sinks.
+	DiscardReport bool
 }
 
 // SchedulerNames lists the scheduler names Config.Scheduler accepts,
@@ -148,6 +165,15 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = engine.DefaultWorkers()
 	}
+	if cfg.Shards < 0 {
+		return cfg, fmt.Errorf("fleet: shard count %d negative (0 selects one shard per worker)", cfg.Shards)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = cfg.Workers
+	}
+	if cfg.Shards > total {
+		cfg.Shards = total
+	}
 	// Membership is ValidScheduler's single source of truth; only the
 	// UsePAS-conflict logic lives here.
 	if !ValidScheduler(cfg.Scheduler) {
@@ -165,46 +191,19 @@ func (cfg Config) withDefaults() (Config, error) {
 	return cfg, nil
 }
 
-// machine is one physical machine: a simulated host plus the fleet's
-// bookkeeping (reservations included, so placement decisions never need
-// to synchronize the host).
-type machine struct {
-	h          *host.Host
-	class      int // index into Config.Machines
-	spec       consolidation.HostSpec
-	on         bool
-	everOn     bool
-	prevEnergy energy.Energy
-	memUsed    int
-	creditUsed float64
-	offeredPct float64
-	vmCount    int
-	inbound    int // in-flight inbound migration reservations
-	nextID     vm.ID
-}
-
-// capacityPct is the machine's placeable credit capacity.
-func (m *machine) capacityPct() float64 { return 100 - m.spec.Dom0ReservePct }
-
-// placedVM is one live (or migrating) VM.
-type placedVM struct {
+// ctlVM is the control-plane half of a placed VM: what the coordinator
+// needs for placement, consolidation and lifecycle bookkeeping. The
+// data-plane half (guest, workload, fold cursors) lives in dataVM and
+// is owned by the hosting machine's shard.
+type ctlVM struct {
 	req     Request
 	class   string
 	machine int
-	guest   *vm.VM
-	wl      *workload.WebApp
 	arrive  sim.Time
-	// prevDemanded/prevAttained are the portions already folded into
-	// interval counters.
-	prevDemanded sim.Work
-	prevAttained sim.Work
-	mig          *migration // non-nil while migrating away
-	gone         bool
+	mig     *migration // non-nil while migrating away
+	gone    bool
+	d       *dataVM
 }
-
-// demanded returns the VM's cumulative demanded work: everything its
-// workload has offered so far, served or still queued.
-func (p *placedVM) demanded() sim.Work { return p.wl.CompletedWork() + p.wl.Pending() }
 
 // migration is one in-flight live migration (pre-copy: the VM keeps
 // running on the source; the target holds a reservation).
@@ -216,7 +215,9 @@ type migration struct {
 }
 
 // timedName orders heap entries by (time, name) so every queue pops
-// deterministically.
+// deterministically. The heap is hand-rolled (no container/heap): the
+// interface boxing there costs one allocation per push, and departure
+// pushes happen for every arrival.
 type timedName struct {
 	at   sim.Time
 	name string
@@ -224,16 +225,51 @@ type timedName struct {
 
 type timedHeap []timedName
 
-func (h timedHeap) Len() int { return len(h) }
-func (h timedHeap) Less(i, j int) bool {
+func (h timedHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].name < h[j].name
 }
-func (h timedHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *timedHeap) Push(x any)   { *h = append(*h, x.(timedName)) }
-func (h *timedHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *timedHeap) push(tn timedName) {
+	a := append(*h, tn)
+	for i := len(a) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !a.less(i, parent) {
+			break
+		}
+		a[i], a[parent] = a[parent], a[i]
+		i = parent
+	}
+	*h = a
+}
+
+func (h *timedHeap) pop() timedName {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	a[n] = timedName{}
+	a = a[:n]
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && a.less(r, c) {
+			c = r
+		}
+		if !a.less(c, i) {
+			break
+		}
+		a[i], a[c] = a[c], a[i]
+		i = c
+	}
+	*h = a
+	return top
+}
+
 func (h timedHeap) top() (sim.Time, bool) {
 	if len(h) == 0 {
 		return sim.Never, false
@@ -242,27 +278,65 @@ func (h timedHeap) top() (sim.Time, bool) {
 }
 
 // Fleet is the trace-driven heterogeneous datacenter simulator.
+//
+// It is split into a control plane and a data plane. The control plane
+// — placement, consolidation planning, migration and power bookkeeping,
+// every decision — runs sequentially on the coordinator (Run's
+// goroutine) against pure bookkeeping state that never reads the
+// simulated hosts. The data plane — host stepping, guest attach/detach,
+// energy and work accounting — executes on per-shard workers driven by
+// timestamped command queues filled in the coordinator's deterministic
+// order. Work and energy reduce machine -> shard -> fleet as exact
+// integers, so the report is bit-identical for every shard and worker
+// count.
 type Fleet struct {
-	cfg      Config
-	trace    *Trace
-	machines []*machine
-	vms      map[string]*placedVM
-	order    []*placedVM // insertion order; compacted at barriers
-	migs     map[string]*migration
-	departQ  timedHeap
-	migQ     timedHeap
-	now      sim.Time
-	horizon  sim.Time
-	nextEv   int
-	ran      bool
+	cfg     Config
+	trace   *Trace
+	nmach   int
+	specs   []consolidation.HostSpec // per class, defaults applied
+	caps    []float64                // per class: placeable credit capacity (%)
+	classOf []int32                  // machine -> class index
 
-	statesBuf []MachineState
-	tasksBuf  []func() error
+	shards  []*shard
+	gate    *engine.Gate
+	inline  bool // Shards == 1 or Workers == 1: exec commands on the coordinator
+	abort   chan struct{}
+	workers sync.WaitGroup
+	running atomic.Bool
+
+	// control-plane per-machine scan state, struct-of-arrays: states is
+	// the persistent policy view updated in place (never rebuilt), the
+	// int32/bool arrays are what the coordinator scans every barrier.
+	states  []MachineState
+	vmCount []int32
+	inbound []int32
+	everOn  []bool
+
+	vms   map[string]*ctlVM
+	order []*ctlVM // insertion order; compacted at barriers
+	migs  map[string]*migration
+	migQ  timedHeap
+
+	// pools and scratch: the steady-state loop allocates only what must
+	// outlive it (workloads, guests, phase slices).
+	ctlFree    []*ctlVM
+	outFree    []*VMOutcome
+	dataPool   sync.Pool
+	outPending []*VMOutcome // outcome slots of the current interval
+	departDue  []timedName
+	consStates []MachineState
+	movingBuf  []*ctlVM
+	planBuf    []consMove
+
+	now     sim.Time
+	horizon sim.Time
+	nextEv  int
+	ran     bool
 
 	// cumulative counters. Energy and work are exact integer sums, so
-	// the rollup order across machines and VMs cannot influence the
-	// result: worker-pool determinism holds by construction, and float
-	// conversion happens only when an Interval or the Summary is emitted.
+	// the reduction order across machines, shards and VMs cannot
+	// influence the result; float conversion happens only when an
+	// Interval or the Summary is emitted.
 	arrived, departed, rejected, migrated int
 	poweredOn, poweredOff                 int
 	energyTotal                           energy.Energy
@@ -276,11 +350,32 @@ type Fleet struct {
 	ivAttained sim.Work
 	lastSample sim.Time
 
-	rep *Report
+	// streaming: every sink sees intervals, outcomes and the summary in
+	// deterministic order; the in-memory Report is just the first sink
+	// unless DiscardReport drops it.
+	sinks []Sink
+	rep   *Report
+
+	// running summary aggregates, computed in emission order so they
+	// match a post-run pass over the buffered report bit for bit.
+	sumDt, sumActive float64
+	prevTimeS        float64
+	peakActive       int
+	nOut             int
+	sumVMSLA         float64
+	minVMSLA         float64
+	below95          int
+}
+
+type consMove struct {
+	p  *ctlVM
+	to int
 }
 
 // New builds a fleet from the configuration and the trace. Machines
-// start powered off; the policy powers them on as VMs arrive.
+// start powered off; hosts are constructed lazily at first power-on, so
+// an estate of a million mostly-idle machines costs bookkeeping arrays,
+// not a million simulated hosts.
 func New(cfg Config, trace *Trace) (*Fleet, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -289,12 +384,20 @@ func New(cfg Config, trace *Trace) (*Fleet, error) {
 	if err := trace.Validate(); err != nil {
 		return nil, err
 	}
+	total := 0
+	for _, mc := range cfg.Machines {
+		total += mc.Count
+	}
 	f := &Fleet{
 		cfg:   cfg,
 		trace: trace,
-		vms:   make(map[string]*placedVM),
+		nmach: total,
+		vms:   make(map[string]*ctlVM),
 		migs:  make(map[string]*migration),
 	}
+	f.dataPool.New = func() any { return new(dataVM) }
+	f.specs = make([]consolidation.HostSpec, len(cfg.Machines))
+	f.caps = make([]float64, len(cfg.Machines))
 	for ci := range cfg.Machines {
 		mc := &cfg.Machines[ci]
 		spec, err := mc.Spec.WithDefaults()
@@ -304,18 +407,58 @@ func New(cfg Config, trace *Trace) (*Fleet, error) {
 		if _, err := spec.Profile.Throughput(spec.Profile.Max()); err != nil {
 			return nil, fmt.Errorf("fleet: machine class %s: %w", mc.Name, err)
 		}
-		for i := 0; i < mc.Count; i++ {
-			h, err := newMachineHost(spec, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fleet: machine class %s #%d: %w", mc.Name, i, err)
-			}
-			f.machines = append(f.machines, &machine{
-				h:      h,
-				class:  ci,
-				spec:   spec,
-				nextID: 1,
-			})
+		// Probe one host per class so construction errors still surface
+		// at New time, as they did when every host was built eagerly.
+		if _, err := newMachineHost(spec, cfg); err != nil {
+			return nil, fmt.Errorf("fleet: machine class %s: %w", mc.Name, err)
 		}
+		f.specs[ci] = spec
+		f.caps[ci] = 100 - spec.Dom0ReservePct
+	}
+	f.classOf = make([]int32, total)
+	i := 0
+	for ci, mc := range cfg.Machines {
+		for k := 0; k < mc.Count; k++ {
+			f.classOf[i] = int32(ci)
+			i++
+		}
+	}
+	f.states = make([]MachineState, total)
+	for i := range f.states {
+		ci := f.classOf[i]
+		f.states[i] = MachineState{
+			Index:         i,
+			Class:         cfg.Machines[ci].Name,
+			FreeMemMB:     f.specs[ci].MemoryMB,
+			FreeCreditPct: f.caps[ci],
+			Profile:       f.specs[ci].Profile,
+		}
+	}
+	f.vmCount = make([]int32, total)
+	f.inbound = make([]int32, total)
+	f.everOn = make([]bool, total)
+
+	ns := cfg.Shards
+	f.gate = engine.NewGate(cfg.Workers)
+	f.inline = ns == 1 || cfg.Workers == 1
+	f.shards = make([]*shard, ns)
+	for si := 0; si < ns; si++ {
+		n := (total - si + ns - 1) / ns // machines with index ≡ si (mod ns)
+		s := &shard{
+			f:          f,
+			id:         si,
+			hosts:      make([]*host.Host, n),
+			on:         make([]bool, n),
+			prevEnergy: make([]energy.Energy, n),
+			nextID:     make([]vm.ID, n),
+			resident:   make([][]*dataVM, n),
+			rng:        sim.NewRNG(cfg.Seed ^ (uint64(si+1) * 0x9e3779b97f4a7c15)),
+		}
+		for slot := range s.nextID {
+			s.nextID[slot] = 1
+		}
+		s.queue.init()
+		f.shards[si] = s
 	}
 	return f, nil
 }
@@ -333,42 +476,201 @@ func newMachineHost(spec consolidation.HostSpec, cfg Config) (*host.Host, error)
 }
 
 // Machines returns the number of machines.
-func (f *Fleet) Machines() int { return len(f.machines) }
+func (f *Fleet) Machines() int { return f.nmach }
 
-// Now returns the fleet's simulated time.
+// Shards returns the shard count the fleet partitioned its machines
+// into.
+func (f *Fleet) Shards() int { return len(f.shards) }
+
+// Now returns the fleet's simulated time. It is owned by the
+// coordinator: do not call it from other goroutines while Run executes.
 func (f *Fleet) Now() sim.Time { return f.now }
 
 // BatchedQuanta returns the total quanta executed through batched steps
-// across every machine, for the equivalence tests' vacuity checks.
+// across every machine, for the equivalence tests' vacuity checks. It
+// returns 0 while Run is executing: the engines belong to the shard
+// workers until the run completes.
 func (f *Fleet) BatchedQuanta() int64 {
+	if f.running.Load() {
+		return 0
+	}
 	var n int64
-	for _, m := range f.machines {
-		n += m.h.Engine().BatchedQuanta()
+	for _, s := range f.shards {
+		for _, h := range s.hosts {
+			if h != nil {
+				n += h.Engine().BatchedQuanta()
+			}
+		}
 	}
 	return n
 }
 
 // Host exposes one machine's simulated host (for tests and metrics).
+// It fails while Run is executing — the hosts are owned by the shard
+// workers — and lazily constructs the host of a machine that was never
+// powered on, so callers can always inspect a completed run.
 func (f *Fleet) Host(i int) (*host.Host, error) {
-	if i < 0 || i >= len(f.machines) {
+	if i < 0 || i >= f.nmach {
 		return nil, fmt.Errorf("fleet: machine %d out of range", i)
 	}
-	return f.machines[i].h, nil
+	if f.running.Load() {
+		return nil, fmt.Errorf("fleet: machine %d unavailable while Run executes (hosts are owned by the shard workers)", i)
+	}
+	s := f.shards[i%len(f.shards)]
+	slot := i / len(f.shards)
+	if s.hosts[slot] == nil {
+		h, err := newMachineHost(f.specs[f.classOf[i]], f.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: machine %d: %w", i, err)
+		}
+		s.hosts[slot] = h
+	}
+	return s.hosts[slot], nil
+}
+
+// pools ---------------------------------------------------------------
+
+func (f *Fleet) getCtlVM() *ctlVM {
+	if n := len(f.ctlFree); n > 0 {
+		p := f.ctlFree[n-1]
+		f.ctlFree[n-1] = nil
+		f.ctlFree = f.ctlFree[:n-1]
+		return p
+	}
+	return &ctlVM{}
+}
+
+func (f *Fleet) putCtlVM(p *ctlVM) {
+	*p = ctlVM{}
+	f.ctlFree = append(f.ctlFree, p)
+}
+
+func (f *Fleet) getOutcome() *VMOutcome {
+	if n := len(f.outFree); n > 0 {
+		o := f.outFree[n-1]
+		f.outFree[n-1] = nil
+		f.outFree = f.outFree[:n-1]
+		*o = VMOutcome{}
+		return o
+	}
+	return &VMOutcome{}
+}
+
+// getDataVM and putDataVM go through a sync.Pool: dataVMs are created
+// by the coordinator and freed by whichever shard executes the depart.
+func (f *Fleet) getDataVM() *dataVM { return f.dataPool.Get().(*dataVM) }
+
+func (f *Fleet) putDataVM(d *dataVM) {
+	*d = dataVM{}
+	f.dataPool.Put(d)
+}
+
+// bookkeeping helpers -------------------------------------------------
+
+// reserve books a request's resources on a machine in the persistent
+// policy view; release is its exact inverse.
+func (f *Fleet) reserve(i int, r Request) {
+	st := &f.states[i]
+	st.FreeMemMB -= r.MemoryMB
+	st.FreeCreditPct -= r.CreditPct
+	st.OfferedLoadPct += r.CreditPct * r.MeanActivity
+}
+
+func (f *Fleet) release(i int, r Request) {
+	st := &f.states[i]
+	st.FreeMemMB += r.MemoryMB
+	st.FreeCreditPct += r.CreditPct
+	st.OfferedLoadPct -= r.CreditPct * r.MeanActivity
+}
+
+// dispatch routes one data-plane command to the owning shard: executed
+// inline on the coordinator in single-shard or single-worker mode,
+// queued to the shard's persistent worker otherwise. Commands reach
+// each shard in the coordinator's deterministic (time, seq) order
+// either way.
+func (f *Fleet) dispatch(machine int, c command) error {
+	s := f.shards[machine%len(f.shards)]
+	c.slot = int32(machine / len(f.shards))
+	if f.inline {
+		s.exec(&c)
+		return f.shardErr()
+	}
+	s.queue.push(c)
+	return nil
+}
+
+// shardErr returns the first shard error in shard order, preferring
+// root causes over poison propagated from a peer's failure.
+func (f *Fleet) shardErr() error {
+	for _, s := range f.shards {
+		if s.err != nil && !s.poisoned {
+			return s.err
+		}
+	}
+	for _, s := range f.shards {
+		if s.err != nil {
+			return s.err
+		}
+	}
+	return nil
+}
+
+// barrier synchronizes every shard to t and reduces the shard interval
+// partials into the fleet accumulators (the shard -> fleet stage of the
+// hierarchical exact reduction).
+func (f *Fleet) barrier(t sim.Time) error {
+	if f.inline {
+		for _, s := range f.shards {
+			if s.err == nil {
+				s.execBarrier(t)
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(len(f.shards))
+		for _, s := range f.shards {
+			s.queue.push(command{kind: cmdBarrier, slot: -1, at: t, wg: &wg})
+		}
+		wg.Wait()
+	}
+	if err := f.shardErr(); err != nil {
+		return err
+	}
+	for _, s := range f.shards {
+		f.ivEnergy = f.ivEnergy.Add(s.ivEnergy)
+		f.ivDemanded += s.ivDemanded
+		f.ivAttained += s.ivAttained
+		s.ivEnergy = energy.Energy{}
+		s.ivDemanded, s.ivAttained = 0, 0
+	}
+	return nil
+}
+
+// join waits for every shard to drain its queue without folding.
+func (f *Fleet) join() error {
+	if !f.inline {
+		var wg sync.WaitGroup
+		wg.Add(len(f.shards))
+		for _, s := range f.shards {
+			s.queue.push(command{kind: cmdJoin, slot: -1, wg: &wg})
+		}
+		wg.Wait()
+	}
+	return f.shardErr()
 }
 
 // Run advances the fleet from time zero to the horizon, consuming the
 // trace, and returns the cluster-level report. The fleet is single-shot:
 // a second Run returns an error.
 //
-// The loop is event-driven: the fleet computes the earliest upcoming
-// fleet-level event — a VM arrival or departure, a migration completion,
-// a consolidation round, a reporting barrier — and lets each involved
-// machine advance to exactly that moment, so per-host event-horizon
-// batching folds the whole uninterrupted stretch. All machines are only
-// synchronized together at reporting barriers, where they catch up
-// concurrently on the worker pool; every piece of cross-machine
-// bookkeeping runs sequentially in machine order, which makes the run
-// deterministic for any worker count.
+// The loop is event-driven: the coordinator computes the earliest
+// upcoming fleet-level event — a VM arrival or departure, a migration
+// completion, a consolidation round, a reporting barrier — resolves all
+// control-plane consequences sequentially, and dispatches the resulting
+// data-plane commands to the shard workers, which let each involved
+// machine advance to exactly that moment so per-host event-horizon
+// batching folds the whole uninterrupted stretch. All shards only
+// synchronize together at reporting barriers.
 func (f *Fleet) Run(horizon sim.Time) (*Report, error) {
 	if f.ran {
 		return nil, fmt.Errorf("fleet: already ran; build a new fleet for another run")
@@ -379,6 +681,33 @@ func (f *Fleet) Run(horizon sim.Time) (*Report, error) {
 	f.ran = true
 	f.horizon = horizon
 	f.rep = &Report{}
+	f.minVMSLA = 1
+	if !f.cfg.DiscardReport {
+		f.sinks = append(f.sinks, f.rep)
+	}
+	f.sinks = append(f.sinks, f.cfg.Sinks...)
+
+	f.running.Store(true)
+	if !f.inline {
+		f.abort = make(chan struct{})
+		f.workers.Add(len(f.shards))
+		for _, s := range f.shards {
+			go func(s *shard) {
+				defer f.workers.Done()
+				s.loop()
+			}(s)
+		}
+	}
+	defer func() {
+		if !f.inline {
+			close(f.abort)
+			for _, s := range f.shards {
+				s.queue.close()
+			}
+			f.workers.Wait()
+		}
+		f.running.Store(false)
+	}()
 
 	nextReport := f.cfg.ReportEvery
 	if nextReport > horizon {
@@ -396,8 +725,10 @@ func (f *Fleet) Run(horizon sim.Time) (*Report, error) {
 				t = at
 			}
 		}
-		if at, ok := f.departQ.top(); ok && at < t {
-			t = at
+		for _, s := range f.shards {
+			if at, ok := s.departQ.top(); ok && at < t {
+				t = at
+			}
 		}
 		if at, ok := f.migQ.top(); ok && at < t {
 			t = at
@@ -414,12 +745,28 @@ func (f *Fleet) Run(horizon sim.Time) (*Report, error) {
 		// departures free capacity, arrivals consume it, consolidation
 		// sees the settled state, and the reporting barrier samples last.
 		for len(f.migQ) > 0 && f.migQ[0].at <= t {
-			if err := f.completeMigration(heap.Pop(&f.migQ).(timedName).name); err != nil {
+			if err := f.completeMigration(f.migQ.pop().name); err != nil {
 				return nil, err
 			}
 		}
-		for len(f.departQ) > 0 && f.departQ[0].at <= t {
-			if err := f.depart(heap.Pop(&f.departQ).(timedName).name); err != nil {
+		// Same-instant departures merge across the shard queues in the
+		// global (time, name) order a single queue would pop.
+		f.departDue = f.departDue[:0]
+		for _, s := range f.shards {
+			for len(s.departQ) > 0 && s.departQ[0].at <= t {
+				f.departDue = append(f.departDue, s.departQ.pop())
+			}
+		}
+		if len(f.departDue) > 1 {
+			sort.Slice(f.departDue, func(i, j int) bool {
+				if f.departDue[i].at != f.departDue[j].at {
+					return f.departDue[i].at < f.departDue[j].at
+				}
+				return f.departDue[i].name < f.departDue[j].name
+			})
+		}
+		for _, tn := range f.departDue {
+			if err := f.depart(tn.name); err != nil {
 				return nil, err
 			}
 		}
@@ -454,72 +801,28 @@ func (f *Fleet) Run(horizon sim.Time) (*Report, error) {
 			break
 		}
 	}
-	f.finalize()
+	if err := f.finalize(); err != nil {
+		return nil, err
+	}
 	return f.rep, nil
 }
 
-// sync advances one machine's host to the fleet's present. Machines lag
-// behind between the events that involve them; syncing lets the host
-// batch the whole gap.
-func (f *Fleet) sync(m *machine) error {
-	if m.h.Now() >= f.now {
+// powerOn switches a machine on in the control plane and dispatches the
+// host-side power-on (lazy construction, catch-up, energy snapshot).
+func (f *Fleet) powerOn(idx int) error {
+	st := &f.states[idx]
+	if st.On {
 		return nil
 	}
-	return m.h.RunUntil(f.now)
-}
-
-// powerOn switches a machine on: its host catches up to the present and
-// the energy spent during the catch-up is excluded from the fleet total
-// (the machine was off).
-func (f *Fleet) powerOn(m *machine) error {
-	if m.on {
-		return nil
-	}
-	if err := f.sync(m); err != nil {
-		return err
-	}
-	m.prevEnergy = m.h.Energy().Total()
-	m.on = true
-	m.everOn = true
+	st.On = true
+	f.everOn[idx] = true
 	f.poweredOn++
-	return nil
+	return f.dispatch(idx, command{kind: cmdPowerOn, at: f.now})
 }
 
-// rollup folds a powered-on machine's energy since the last rollup into
-// the current interval — an exact integer delta, so the machine order of
-// the rollup loop cannot change the sum.
-func (f *Fleet) rollup(m *machine) {
-	e := m.h.Energy().Total()
-	f.ivEnergy = f.ivEnergy.Add(e.Sub(m.prevEnergy))
-	m.prevEnergy = e
-}
-
-// machineStates builds the policy view. onlyOn restricts to powered-on
-// machines; exclude (when >= 0) drops one machine (the consolidation
-// victim).
-func (f *Fleet) machineStates(onlyOn bool, exclude int) []MachineState {
-	states := f.statesBuf[:0]
-	for i, m := range f.machines {
-		if i == exclude || (onlyOn && !m.on) {
-			continue
-		}
-		states = append(states, MachineState{
-			Index:          i,
-			Class:          f.cfg.Machines[m.class].Name,
-			On:             m.on,
-			FreeMemMB:      m.spec.MemoryMB - m.memUsed,
-			FreeCreditPct:  m.capacityPct() - m.creditUsed,
-			OfferedLoadPct: m.offeredPct,
-			Profile:        m.spec.Profile,
-		})
-	}
-	f.statesBuf = states
-	return states
-}
-
-// arrive handles one trace arrival: the policy picks a machine, the
-// machine (powered on if needed) synchronizes to the present, and the VM
-// attaches with its demand profile.
+// arrive handles one trace arrival: the policy picks a machine from the
+// persistent bookkeeping view, the coordinator books the resources, and
+// the owning shard attaches the VM.
 func (f *Fleet) arrive(ev *VMEvent) error {
 	class := f.trace.Classes[ev.Class]
 	req := Request{
@@ -528,87 +831,82 @@ func (f *Fleet) arrive(ev *VMEvent) error {
 		MemoryMB:     class.MemoryMB,
 		MeanActivity: ev.Activity,
 	}
-	idx, ok := f.cfg.Policy.Place(f.machineStates(false, -1), req)
+	idx, ok := f.cfg.Policy.Place(f.states, req)
 	if !ok {
 		f.rejected++
 		f.iv.Rejected++
 		return nil
 	}
-	m, err := f.checkPlacement(idx, req, false)
-	if err != nil {
+	if err := f.checkPlacement(idx, req, false); err != nil {
 		return err
 	}
-	if err := f.powerOn(m); err != nil {
-		return err
-	}
-	if err := f.sync(m); err != nil {
+	if err := f.powerOn(idx); err != nil {
 		return err
 	}
 
-	wl, err := workload.NewWebApp(workload.WebAppConfig{
-		Phases:        ev.demandPhases(class, f.horizon),
-		Deterministic: f.cfg.DeterministicArrivals,
-		MaxBacklog:    -1, // unbounded: unserved demand stays visible to the SLA
-		Seed:          f.cfg.Seed + uint64(f.arrived)*0x9e3779b97f4a7c15 + 1,
-	})
-	if err != nil {
-		return fmt.Errorf("fleet: VM %s workload: %w", ev.Name, err)
+	d := f.getDataVM()
+	d.name = ev.Name
+	d.credit = class.CreditPct
+	// The seed is a function of the global arrival index, assigned here
+	// in coordinator order — workloads draw identical randomness for
+	// every shard and worker count.
+	d.seed = f.cfg.Seed + uint64(f.arrived)*0x9e3779b97f4a7c15 + 1
+	d.deterministic = f.cfg.DeterministicArrivals
+	d.phases = ev.demandPhases(class, f.horizon)
+	if err := f.dispatch(idx, command{kind: cmdAddVM, at: f.now, d: d}); err != nil {
+		return err
 	}
-	guest, err := vm.New(m.nextID, vm.Config{Name: ev.Name, Credit: class.CreditPct})
-	if err != nil {
-		return fmt.Errorf("fleet: VM %s: %w", ev.Name, err)
-	}
-	m.nextID++
-	guest.SetWorkload(wl)
-	if err := m.h.AddVM(guest); err != nil {
-		return fmt.Errorf("fleet: VM %s on machine %d: %w", ev.Name, idx, err)
-	}
-	m.memUsed += req.MemoryMB
-	m.creditUsed += req.CreditPct
-	m.offeredPct += req.CreditPct * req.MeanActivity
-	m.vmCount++
+	f.reserve(idx, req)
+	f.vmCount[idx]++
 
-	p := &placedVM{req: req, class: ev.Class, machine: idx, guest: guest, wl: wl, arrive: f.now}
+	p := f.getCtlVM()
+	p.req, p.class, p.machine, p.arrive, p.d = req, ev.Class, idx, f.now, d
 	f.vms[ev.Name] = p
 	f.order = append(f.order, p)
 	if depart := ev.Arrive + ev.Lifetime; depart < f.horizon {
-		heap.Push(&f.departQ, timedName{at: depart, name: ev.Name})
+		f.shards[idx%len(f.shards)].departQ.push(timedName{at: depart, name: ev.Name})
 	}
 	f.arrived++
 	f.iv.Arrivals++
 	return nil
 }
 
-// checkPlacement validates a policy decision, turning a bad pick into a
-// diagnosable error instead of silent misaccounting.
-func (f *Fleet) checkPlacement(idx int, req Request, migrating bool) (*machine, error) {
+// checkPlacement validates a policy decision against the bookkeeping
+// state, turning a bad pick into a diagnosable error instead of silent
+// misaccounting.
+func (f *Fleet) checkPlacement(idx int, req Request, migrating bool) error {
 	kind := "place"
 	if migrating {
 		kind = "migrate"
 	}
-	if idx < 0 || idx >= len(f.machines) {
-		return nil, fmt.Errorf("fleet: policy %s: %s %s on machine %d: out of range [0,%d)",
-			f.cfg.Policy.Name(), kind, req.Name, idx, len(f.machines))
+	if idx < 0 || idx >= f.nmach {
+		return fmt.Errorf("fleet: policy %s: %s %s on machine %d: out of range [0,%d)",
+			f.cfg.Policy.Name(), kind, req.Name, idx, f.nmach)
 	}
-	m := f.machines[idx]
-	if migrating && !m.on {
-		return nil, fmt.Errorf("fleet: policy %s: %s %s on machine %d: machine is powered off",
+	st := &f.states[idx]
+	if migrating && !st.On {
+		return fmt.Errorf("fleet: policy %s: %s %s on machine %d: machine is powered off",
 			f.cfg.Policy.Name(), kind, req.Name, idx)
 	}
-	if m.spec.MemoryMB-m.memUsed < req.MemoryMB {
-		return nil, fmt.Errorf("fleet: policy %s: %s %s on machine %d: memory %d+%d > %d MB",
-			f.cfg.Policy.Name(), kind, req.Name, idx, m.memUsed, req.MemoryMB, m.spec.MemoryMB)
+	ci := f.classOf[idx]
+	if st.FreeMemMB < req.MemoryMB {
+		return fmt.Errorf("fleet: policy %s: %s %s on machine %d: memory %d+%d > %d MB",
+			f.cfg.Policy.Name(), kind, req.Name, idx,
+			f.specs[ci].MemoryMB-st.FreeMemMB, req.MemoryMB, f.specs[ci].MemoryMB)
 	}
-	if m.capacityPct()-m.creditUsed < req.CreditPct {
-		return nil, fmt.Errorf("fleet: policy %s: %s %s on machine %d: credit %v+%v > %v%%",
-			f.cfg.Policy.Name(), kind, req.Name, idx, m.creditUsed, req.CreditPct, m.capacityPct())
+	if st.FreeCreditPct < req.CreditPct {
+		return fmt.Errorf("fleet: policy %s: %s %s on machine %d: credit %v+%v > %v%%",
+			f.cfg.Policy.Name(), kind, req.Name, idx,
+			f.caps[ci]-st.FreeCreditPct, req.CreditPct, f.caps[ci])
 	}
-	return m, nil
+	return nil
 }
 
-// depart removes a VM at the end of its lifetime, folding its final SLA
-// deltas into the current interval. A VM departing mid-migration aborts
-// the pre-copy and releases the target reservation.
+// depart removes a VM at the end of its lifetime: the coordinator frees
+// the booking and assigns the outcome slot, the owning shard detaches
+// the guest and fills the slot's work tallies. A VM departing
+// mid-migration aborts the pre-copy and releases the target
+// reservation.
 func (f *Fleet) depart(name string) error {
 	p, ok := f.vms[name]
 	if !ok || p.gone {
@@ -617,61 +915,21 @@ func (f *Fleet) depart(name string) error {
 	if p.mig != nil {
 		f.abortMigration(p)
 	}
-	m := f.machines[p.machine]
-	if err := f.sync(m); err != nil {
+	o := f.getOutcome()
+	o.Name, o.Class, o.Machine = p.req.Name, p.class, p.machine
+	o.ArriveS, o.DepartS, o.Departed = p.arrive.Seconds(), f.now.Seconds(), true
+	f.outPending = append(f.outPending, o)
+	if err := f.dispatch(p.machine, command{kind: cmdRemoveVM, at: f.now, d: p.d, out: o}); err != nil {
 		return err
 	}
-	if err := m.h.RemoveVM(p.guest.ID()); err != nil {
-		return fmt.Errorf("fleet: depart %s: %w", name, err)
-	}
-	m.memUsed -= p.req.MemoryMB
-	m.creditUsed -= p.req.CreditPct
-	m.offeredPct -= p.req.CreditPct * p.req.MeanActivity
-	m.vmCount--
-	f.foldVM(p)
-	f.recordOutcome(p, true)
+	f.release(p.machine, p.req)
+	f.vmCount[p.machine]--
 	p.gone = true
+	p.d = nil
 	delete(f.vms, name)
 	f.departed++
 	f.iv.Departures++
 	return nil
-}
-
-// tickVM integrates the VM's workload bookkeeping up to its host's
-// clock before the fleet reads it. Batched host stretches skip workload
-// Ticks (the batching certification proves nothing arrives inside
-// them), so the pending-work reading would otherwise lag behind the
-// host clock; ticking here is idempotent and keeps batched and
-// reference runs reporting identical demand.
-func (f *Fleet) tickVM(p *placedVM) {
-	p.wl.Tick(f.machines[p.machine].h.Now())
-}
-
-// foldVM folds a VM's demanded/attained work since the last fold into
-// the current interval. The VM's machine must be synchronized.
-func (f *Fleet) foldVM(p *placedVM) {
-	f.tickVM(p)
-	d, a := p.demanded(), p.wl.CompletedWork()
-	f.ivDemanded += d - p.prevDemanded
-	f.ivAttained += a - p.prevAttained
-	p.prevDemanded, p.prevAttained = d, a
-}
-
-// recordOutcome appends the VM's final per-VM SLA record.
-func (f *Fleet) recordOutcome(p *placedVM, departed bool) {
-	f.tickVM(p)
-	d, a := p.demanded(), p.wl.CompletedWork()
-	f.rep.PerVM = append(f.rep.PerVM, VMOutcome{
-		Name:         p.req.Name,
-		Class:        p.class,
-		Machine:      p.machine,
-		ArriveS:      p.arrive.Seconds(),
-		DepartS:      f.now.Seconds(),
-		Departed:     departed,
-		DemandedWork: d.Units(),
-		AttainedWork: a.Units(),
-		SLA:          slaOf(a, d),
-	})
 }
 
 // slaOf is attained/demanded, defined as 1 when nothing was demanded.
@@ -694,7 +952,8 @@ func slaOf(attained, demanded sim.Work) float64 {
 // cannot reduce the active count, it just ping-pongs the load. Rounds
 // are skipped while migrations are in flight, and abandoned (without
 // partial moves) when the victim cannot be fully emptied — a partial
-// move cannot free a machine.
+// move cannot free a machine. Planning is pure control plane: no host
+// is touched until a migration completes.
 func (f *Fleet) consolidate() error {
 	// f.migs is the exact in-flight census: completions and aborts both
 	// delete from it, while canceled entries linger in the migQ heap
@@ -703,46 +962,48 @@ func (f *Fleet) consolidate() error {
 		return nil
 	}
 	victim, loaded := -1, 0
-	for i, m := range f.machines {
-		if !m.on || m.vmCount == 0 || m.inbound > 0 {
+	for i := 0; i < f.nmach; i++ {
+		if !f.states[i].On || f.vmCount[i] == 0 || f.inbound[i] > 0 {
 			continue
 		}
 		loaded++
-		if victim < 0 || m.offeredPct < f.machines[victim].offeredPct {
+		if victim < 0 || f.states[i].OfferedLoadPct < f.states[victim].OfferedLoadPct {
 			victim = i
 		}
 	}
 	if victim < 0 || loaded < 2 {
 		return nil
 	}
-	var moving []*placedVM
+	moving := f.movingBuf[:0]
 	for _, p := range f.order {
 		if !p.gone && p.machine == victim && p.mig == nil {
 			moving = append(moving, p)
 		}
 	}
+	f.movingBuf = moving[:0]
 	if len(moving) == 0 {
 		return nil
 	}
 	// Tentative placement against a scratch copy of the state, restricted
 	// to loaded machines, largest memory first (the classic FFD order).
-	var states []MachineState
-	for _, st := range f.machineStates(true, victim) {
-		if m := f.machines[st.Index]; m.vmCount > 0 || m.inbound > 0 {
-			states = append(states, st)
+	states := f.consStates[:0]
+	for i := 0; i < f.nmach; i++ {
+		if i == victim || !f.states[i].On {
+			continue
+		}
+		if f.vmCount[i] > 0 || f.inbound[i] > 0 {
+			states = append(states, f.states[i])
 		}
 	}
+	f.consStates = states[:0]
 	sort.Slice(moving, func(i, j int) bool {
 		if moving[i].req.MemoryMB != moving[j].req.MemoryMB {
 			return moving[i].req.MemoryMB > moving[j].req.MemoryMB
 		}
 		return moving[i].req.Name < moving[j].req.Name
 	})
-	type move struct {
-		p  *placedVM
-		to int
-	}
-	var plan []move
+	plan := f.planBuf[:0]
+	defer func() { f.planBuf = plan[:0] }()
 	for _, p := range moving {
 		idx, ok := f.cfg.Policy.Place(states, p.req)
 		if !ok {
@@ -764,22 +1025,19 @@ func (f *Fleet) consolidate() error {
 		if !found {
 			return f.placementError(idx, p.req)
 		}
-		plan = append(plan, move{p: p, to: idx})
+		plan = append(plan, consMove{p: p, to: idx})
 	}
 	for _, mv := range plan {
-		if _, err := f.checkPlacement(mv.to, mv.p.req, true); err != nil {
+		if err := f.checkPlacement(mv.to, mv.p.req, true); err != nil {
 			return err
 		}
-		dst := f.machines[mv.to]
-		dst.memUsed += mv.p.req.MemoryMB
-		dst.creditUsed += mv.p.req.CreditPct
-		dst.offeredPct += mv.p.req.CreditPct * mv.p.req.MeanActivity
-		dst.inbound++
+		f.reserve(mv.to, mv.p.req)
+		f.inbound[mv.to]++
 		dur := sim.FromSeconds(float64(mv.p.req.MemoryMB) / f.cfg.MigrationBandwidthMBps)
 		mg := &migration{name: mv.p.req.Name, from: victim, to: mv.to, done: f.now + dur}
 		mv.p.mig = mg
 		f.migs[mg.name] = mg
-		heap.Push(&f.migQ, timedName{at: mg.done, name: mg.name})
+		f.migQ.push(timedName{at: mg.done, name: mg.name})
 	}
 	return nil
 }
@@ -794,21 +1052,21 @@ func (f *Fleet) placementError(idx int, req Request) error {
 // abortMigration cancels an in-flight migration (the VM is departing),
 // releasing the target-side reservation. The queued completion entry
 // stays in the heap and is skipped when it pops.
-func (f *Fleet) abortMigration(p *placedVM) {
+func (f *Fleet) abortMigration(p *ctlVM) {
 	mg := p.mig
 	mg.canceled = true
-	dst := f.machines[mg.to]
-	dst.memUsed -= p.req.MemoryMB
-	dst.creditUsed -= p.req.CreditPct
-	dst.offeredPct -= p.req.CreditPct * p.req.MeanActivity
-	dst.inbound--
+	f.release(mg.to, p.req)
+	f.inbound[mg.to]--
 	p.mig = nil
 	delete(f.migs, mg.name)
 }
 
-// completeMigration finishes one due migration: the guest detaches from
-// the source and a fresh guest with the same (still-running) workload
-// attaches to the target, whose reservation becomes real usage.
+// completeMigration finishes one due migration: the source shard
+// detaches the guest and hands the dataVM to the destination shard over
+// a one-shot channel; the destination attaches a fresh guest with the
+// same still-running workload. The coordinator dispatches the out
+// command strictly before the in command, so the exchange can never
+// deadlock under any worker count.
 func (f *Fleet) completeMigration(name string) error {
 	mg, ok := f.migs[name]
 	if !ok || mg.canceled {
@@ -816,32 +1074,17 @@ func (f *Fleet) completeMigration(name string) error {
 	}
 	delete(f.migs, name)
 	p := f.vms[name]
-	src, dst := f.machines[mg.from], f.machines[mg.to]
-	if err := f.sync(src); err != nil {
+	ch := make(chan *dataVM, 1)
+	if err := f.dispatch(mg.from, command{kind: cmdMigrateOut, at: f.now, d: p.d, ch: ch}); err != nil {
 		return err
 	}
-	if err := f.sync(dst); err != nil {
+	if err := f.dispatch(mg.to, command{kind: cmdMigrateIn, at: f.now, ch: ch}); err != nil {
 		return err
 	}
-	if err := src.h.RemoveVM(p.guest.ID()); err != nil {
-		return fmt.Errorf("fleet: migrate %s: %w", name, err)
-	}
-	src.memUsed -= p.req.MemoryMB
-	src.creditUsed -= p.req.CreditPct
-	src.offeredPct -= p.req.CreditPct * p.req.MeanActivity
-	src.vmCount--
-	guest, err := vm.New(dst.nextID, vm.Config{Name: name, Credit: p.req.CreditPct})
-	if err != nil {
-		return fmt.Errorf("fleet: migrate %s: %w", name, err)
-	}
-	dst.nextID++
-	guest.SetWorkload(p.wl)
-	if err := dst.h.AddVM(guest); err != nil {
-		return fmt.Errorf("fleet: migrate %s to machine %d: %w", name, mg.to, err)
-	}
-	dst.inbound--
-	dst.vmCount++
-	p.guest = guest
+	f.release(mg.from, p.req)
+	f.vmCount[mg.from]--
+	f.inbound[mg.to]--
+	f.vmCount[mg.to]++
 	p.machine = mg.to
 	p.mig = nil
 	f.migrated++
@@ -849,42 +1092,59 @@ func (f *Fleet) completeMigration(name string) error {
 	return nil
 }
 
-// reportBarrier synchronizes every powered-on machine to t (concurrently
-// on the worker pool), rolls energy and SLA into one interval sample,
-// and powers off machines that ended up empty.
-func (f *Fleet) reportBarrier(t sim.Time) error {
-	tasks := f.tasksBuf[:0]
-	for _, m := range f.machines {
-		if !m.on || m.h.Now() >= t {
-			continue
+// flushOutcomes streams the interval's per-VM outcome slots — filled by
+// the shards, sealed by the preceding barrier — to the sinks, folding
+// them into the running summary aggregates in emission order.
+func (f *Fleet) flushOutcomes() error {
+	for _, o := range f.outPending {
+		f.nOut++
+		f.sumVMSLA += o.SLA
+		if o.SLA < f.minVMSLA {
+			f.minVMSLA = o.SLA
 		}
-		m := m
-		tasks = append(tasks, func() error { return m.h.RunUntil(t) })
+		if o.SLA < 0.95 {
+			f.below95++
+		}
+		for _, sink := range f.sinks {
+			if err := sink.Outcome(*o); err != nil {
+				return err
+			}
+		}
+		f.outFree = append(f.outFree, o)
 	}
-	if err := engine.RunParallel(f.cfg.Workers, tasks); err != nil {
+	f.outPending = f.outPending[:0]
+	return nil
+}
+
+// reportBarrier synchronizes every shard to t, reduces the interval
+// exactly, streams the interval's outcomes and sample to the sinks, and
+// powers off machines that ended up empty.
+func (f *Fleet) reportBarrier(t sim.Time) error {
+	if err := f.barrier(t); err != nil {
 		return err
 	}
-	f.tasksBuf = tasks[:0]
-
 	active := 0
-	for _, m := range f.machines {
-		if m.on {
+	for i := range f.states {
+		if f.states[i].On {
 			active++
-			f.rollup(m)
 		}
 	}
 	live := f.order[:0]
 	for _, p := range f.order {
 		if p.gone {
+			f.putCtlVM(p)
 			continue
 		}
-		f.foldVM(p)
 		live = append(live, p)
 	}
 	for i := len(live); i < len(f.order); i++ {
 		f.order[i] = nil
 	}
 	f.order = live
+
+	if err := f.flushOutcomes(); err != nil {
+		return err
+	}
 
 	f.iv.TimeS = t.Seconds()
 	f.iv.ActiveMachines = active
@@ -898,7 +1158,18 @@ func (f *Fleet) reportBarrier(t sim.Time) error {
 	if dt := (t - f.lastSample).Seconds(); dt > 0 {
 		f.iv.AvgPowerW = f.iv.Joules / dt
 	}
-	f.rep.Intervals = append(f.rep.Intervals, f.iv)
+	dt := f.iv.TimeS - f.prevTimeS
+	f.prevTimeS = f.iv.TimeS
+	f.sumDt += dt
+	f.sumActive += float64(active) * dt
+	if active > f.peakActive {
+		f.peakActive = active
+	}
+	for _, sink := range f.sinks {
+		if err := sink.Interval(f.iv); err != nil {
+			return err
+		}
+	}
 	f.energyTotal = f.energyTotal.Add(f.ivEnergy)
 	f.demanded += f.ivDemanded
 	f.attained += f.ivAttained
@@ -908,24 +1179,42 @@ func (f *Fleet) reportBarrier(t sim.Time) error {
 	f.ivDemanded, f.ivAttained = 0, 0
 
 	// Power off machines the departures emptied (their energy up to the
-	// barrier was already rolled up above). Keeping them on until the
+	// barrier was already reduced above). Keeping them on until the
 	// barrier is the fleet's power-off grace period.
-	for _, m := range f.machines {
-		if m.on && m.vmCount == 0 && m.inbound == 0 {
-			m.on = false
+	for i := range f.states {
+		if f.states[i].On && f.vmCount[i] == 0 && f.inbound[i] == 0 {
+			f.states[i].On = false
 			f.poweredOff++
+			if err := f.dispatch(i, command{kind: cmdPowerOff, at: t}); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
-// finalize records the still-live VMs and assembles the summary.
-func (f *Fleet) finalize() {
+// finalize records the still-live VMs, assembles the summary, and
+// finishes the sinks.
+func (f *Fleet) finalize() error {
 	for _, p := range f.order {
-		if !p.gone {
-			f.recordOutcome(p, false)
+		if p.gone {
+			continue
+		}
+		o := f.getOutcome()
+		o.Name, o.Class, o.Machine = p.req.Name, p.class, p.machine
+		o.ArriveS, o.DepartS, o.Departed = p.arrive.Seconds(), f.now.Seconds(), false
+		f.outPending = append(f.outPending, o)
+		if err := f.dispatch(p.machine, command{kind: cmdRecordLive, at: f.now, d: p.d, out: o}); err != nil {
+			return err
 		}
 	}
+	if err := f.join(); err != nil {
+		return err
+	}
+	if err := f.flushOutcomes(); err != nil {
+		return err
+	}
+
 	sched := f.cfg.Scheduler
 	if sched == "credit" {
 		sched = "fix-credit" // keep the historical report name
@@ -933,7 +1222,7 @@ func (f *Fleet) finalize() {
 	s := Summary{
 		Policy:    f.cfg.Policy.Name(),
 		Scheduler: sched,
-		Machines:  len(f.machines),
+		Machines:  f.nmach,
 		HorizonS:  f.horizon.Seconds(),
 		Arrived:   f.arrived,
 		Departed:  f.departed,
@@ -945,44 +1234,36 @@ func (f *Fleet) finalize() {
 		TotalJoules: f.energyTotal.Joules(),
 		OverallSLA:  slaOf(f.attained, f.demanded),
 	}
-	for _, m := range f.machines {
-		if m.everOn {
+	for i := 0; i < f.nmach; i++ {
+		if f.everOn[i] {
 			s.EverPoweredOn++
 		}
-		s.BatchedQuanta += m.h.Engine().BatchedQuanta()
-		s.SteppedQuanta += m.h.Engine().SteppedQuanta()
 	}
-	sumDt, sumActive := 0.0, 0.0
-	prev := 0.0
-	for _, iv := range f.rep.Intervals {
-		dt := iv.TimeS - prev
-		prev = iv.TimeS
-		sumDt += dt
-		sumActive += float64(iv.ActiveMachines) * dt
-		if iv.ActiveMachines > s.PeakActiveMachines {
-			s.PeakActiveMachines = iv.ActiveMachines
+	for _, sh := range f.shards {
+		for _, h := range sh.hosts {
+			if h != nil {
+				s.BatchedQuanta += h.Engine().BatchedQuanta()
+				s.SteppedQuanta += h.Engine().SteppedQuanta()
+			}
 		}
 	}
-	if sumDt > 0 {
-		s.MeanActiveMachines = sumActive / sumDt
-		s.MeanPowerW = s.TotalJoules / sumDt
+	s.PeakActiveMachines = f.peakActive
+	if f.sumDt > 0 {
+		s.MeanActiveMachines = f.sumActive / f.sumDt
+		s.MeanPowerW = s.TotalJoules / f.sumDt
 	}
-	n := 0
-	s.MinVMSLA = 1
-	for _, o := range f.rep.PerVM {
-		s.MeanVMSLA += o.SLA
-		if o.SLA < s.MinVMSLA {
-			s.MinVMSLA = o.SLA
-		}
-		if o.SLA < 0.95 {
-			s.VMsBelow95++
-		}
-		n++
-	}
-	if n > 0 {
-		s.MeanVMSLA /= float64(n)
+	s.MinVMSLA = f.minVMSLA
+	s.VMsBelow95 = f.below95
+	if f.nOut > 0 {
+		s.MeanVMSLA = f.sumVMSLA / float64(f.nOut)
 	} else {
 		s.MeanVMSLA = 1
 	}
 	f.rep.Summary = s
+	for _, sink := range f.sinks {
+		if err := sink.Finish(s); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -2,8 +2,11 @@ package fleet
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
+
+	"pasched/internal/sim"
 )
 
 // FuzzParseTrace hammers the fleet trace parser with hostile input: the
@@ -52,6 +55,62 @@ func FuzzParseTrace(f *testing.F) {
 				a.Lifetime != b.Lifetime || a.Activity != b.Activity {
 				t.Fatalf("round trip changed event %d: %+v vs %+v", i, a, b)
 			}
+		}
+	})
+}
+
+// FuzzShardMigration fuzzes the cross-shard migration ordering: for
+// arbitrary shard/worker counts and churn parameters, the sharded run's
+// report must be DeepEqual-bit-exact to the single-shard, single-worker
+// run on the same generated trace. Consolidation fires every barrier,
+// so VMs keep crossing shard boundaries mid-run.
+func FuzzShardMigration(f *testing.F) {
+	f.Add(uint64(1), uint8(40), uint8(30), uint8(3), uint8(2))
+	f.Add(uint64(7), uint8(60), uint8(15), uint8(7), uint8(4))
+	f.Add(uint64(42), uint8(25), uint8(60), uint8(2), uint8(1))
+	f.Add(uint64(99), uint8(50), uint8(20), uint8(5), uint8(3))
+
+	f.Fuzz(func(t *testing.T, seed uint64, arrivals, life, shards, workers uint8) {
+		horizon := 120 * sim.Second
+		tr, err := Generate(GenConfig{
+			Seed:         seed,
+			Arrivals:     5 + int(arrivals%56),
+			Horizon:      horizon,
+			MeanLifetime: sim.Time(10+int(life)%80) * sim.Second,
+			BaseActivity: 0.6,
+			SegmentLen:   30 * sim.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := func(s, w int) Config {
+			return Config{
+				Machines:         testMachines(4, 2),
+				UsePAS:           true,
+				Policy:           NewBestFit(),
+				ReportEvery:      15 * sim.Second,
+				ConsolidateEvery: 15 * sim.Second,
+				Shards:           s,
+				Workers:          w,
+				Seed:             seed,
+			}
+		}
+		run := func(s, w int) *Report {
+			fl, err := New(cfg(s, w), tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := fl.Run(horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rep
+		}
+		want := run(1, 1)
+		got := run(1+int(shards)%7, 1+int(workers)%4)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d workers=%d: report differs from 1x1:\n%+v\nvs\n%+v",
+				1+int(shards)%7, 1+int(workers)%4, got.Summary, want.Summary)
 		}
 	})
 }

@@ -54,6 +54,10 @@ func (m MachineState) Fits(r Request) bool {
 // fleet passes only the eligible machines (powered-on, excluding the
 // migration source); the MachineState.Index field always carries the
 // fleet-wide index to return.
+//
+// Place must treat the slice as read-only and must not retain it: the
+// fleet keeps its machine state in place and passes the same backing
+// array on every call.
 type Policy interface {
 	Name() string
 	Place(machines []MachineState, r Request) (int, bool)

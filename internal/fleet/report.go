@@ -1,9 +1,11 @@
 package fleet
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 
 	"pasched/internal/metrics"
 )
@@ -128,4 +130,139 @@ func (r *Report) WriteJSON(w io.Writer) error {
 		return fmt.Errorf("fleet: write report: %w", err)
 	}
 	return nil
+}
+
+// Sink receives a fleet run's results incrementally, in deterministic
+// order: every per-VM outcome of an interval, then the interval sample
+// (Outcome calls never interleave out of chronological order), and
+// Finish exactly once with the summary after the last interval. Sinks
+// let a run's memory stay O(machines + live VMs) instead of O(history):
+// the in-memory Report is itself a Sink, and Config.DiscardReport drops
+// it entirely for million-machine runs. Sink methods are called from the
+// coordinator only — implementations need no locking.
+type Sink interface {
+	Interval(iv Interval) error
+	Outcome(o VMOutcome) error
+	Finish(s Summary) error
+}
+
+// Interval implements Sink by buffering the sample.
+func (r *Report) Interval(iv Interval) error {
+	r.Intervals = append(r.Intervals, iv)
+	return nil
+}
+
+// Outcome implements Sink by buffering the record.
+func (r *Report) Outcome(o VMOutcome) error {
+	r.PerVM = append(r.PerVM, o)
+	return nil
+}
+
+// Finish implements Sink by storing the summary.
+func (r *Report) Finish(s Summary) error {
+	r.Summary = s
+	return nil
+}
+
+// csvHeader matches the column order of Report.IntervalSeries.
+const csvHeader = "time_s,joules,avg_power_w,active_machines,live_vms,sla,migrations,rejected\n"
+
+// CSVSink streams the interval curves as CSV rows, one per reporting
+// barrier, byte-identical to Report.WriteCSV on the buffered report. It
+// ignores per-VM outcomes. Finish flushes; the caller owns closing the
+// underlying writer.
+type CSVSink struct {
+	w      *bufio.Writer
+	row    []byte
+	header bool
+}
+
+// NewCSVSink returns a streaming CSV sink writing to w.
+func NewCSVSink(w io.Writer) *CSVSink {
+	return &CSVSink{w: bufio.NewWriter(w)}
+}
+
+func (s *CSVSink) writeHeader() error {
+	if s.header {
+		return nil
+	}
+	s.header = true
+	_, err := s.w.WriteString(csvHeader)
+	return err
+}
+
+// Interval implements Sink.
+func (s *CSVSink) Interval(iv Interval) error {
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
+	// Cells format exactly like metrics.WriteCSV: %g at full precision,
+	// counts passing through float64 conversion.
+	row := s.row[:0]
+	for i, v := range [...]float64{
+		iv.TimeS, iv.Joules, iv.AvgPowerW,
+		float64(iv.ActiveMachines), float64(iv.LiveVMs),
+		iv.SLA, float64(iv.Migrations), float64(iv.Rejected),
+	} {
+		if i > 0 {
+			row = append(row, ',')
+		}
+		row = strconv.AppendFloat(row, v, 'g', -1, 64)
+	}
+	row = append(row, '\n')
+	s.row = row[:0]
+	_, err := s.w.Write(row)
+	return err
+}
+
+// Outcome implements Sink.
+func (s *CSVSink) Outcome(VMOutcome) error { return nil }
+
+// Finish implements Sink: it writes the header even for a run with no
+// intervals (as Report.WriteCSV does) and flushes.
+func (s *CSVSink) Finish(Summary) error {
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+// JSONLSink streams the run as JSON Lines: one object per record, each
+// wrapping an interval sample, a per-VM outcome, or the final summary
+// in its named field. Unlike CSVSink it carries the complete report —
+// a jq one-liner reassembles Report.WriteJSON's content from it.
+type JSONLSink struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLSink returns a streaming JSON Lines sink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// JSONLRecord is one JSONLSink line; exactly one field is set.
+type JSONLRecord struct {
+	Interval *Interval  `json:"interval,omitempty"`
+	VM       *VMOutcome `json:"vm,omitempty"`
+	Summary  *Summary   `json:"summary,omitempty"`
+}
+
+// Interval implements Sink.
+func (s *JSONLSink) Interval(iv Interval) error {
+	return s.enc.Encode(JSONLRecord{Interval: &iv})
+}
+
+// Outcome implements Sink.
+func (s *JSONLSink) Outcome(o VMOutcome) error {
+	return s.enc.Encode(JSONLRecord{VM: &o})
+}
+
+// Finish implements Sink.
+func (s *JSONLSink) Finish(sum Summary) error {
+	if err := s.enc.Encode(JSONLRecord{Summary: &sum}); err != nil {
+		return err
+	}
+	return s.w.Flush()
 }

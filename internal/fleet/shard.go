@@ -1,0 +1,497 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"pasched/internal/energy"
+	"pasched/internal/host"
+	"pasched/internal/sim"
+	"pasched/internal/vm"
+	"pasched/internal/workload"
+)
+
+// dataVM is the data-plane half of a placed VM: everything only the
+// owning shard touches (the simulated guest, its workload, the
+// interval-fold cursors). The coordinator builds it at arrival planning
+// and hands it to shards inside commands; after the VM departs it
+// returns to a pool.
+type dataVM struct {
+	name          string
+	credit        float64
+	seed          uint64
+	deterministic bool
+	phases        []workload.Phase
+	guest         *vm.VM
+	wl            *workload.WebApp
+	// prevDemanded/prevAttained are the portions already folded into the
+	// owning shard's interval partials.
+	prevDemanded sim.Work
+	prevAttained sim.Work
+}
+
+// demanded returns the VM's cumulative demanded work: everything its
+// workload has offered so far, served or still queued.
+func (d *dataVM) demanded() sim.Work { return d.wl.CompletedWork() + d.wl.Pending() }
+
+// cmdKind enumerates the data-plane commands the coordinator dispatches
+// to shard workers.
+type cmdKind uint8
+
+const (
+	// cmdPowerOn constructs the machine's host on first use, advances it
+	// to the command time, and snapshots its energy meter so the powered
+	// off stretch is excluded from the fleet total.
+	cmdPowerOn cmdKind = iota
+	// cmdAddVM builds the workload and guest and attaches them to the
+	// (synchronized, powered-on) machine.
+	cmdAddVM
+	// cmdRemoveVM detaches a departing guest, folds its final SLA deltas
+	// into the shard partials, and fills its outcome slot.
+	cmdRemoveVM
+	// cmdMigrateOut detaches a migrating guest from the source machine
+	// and hands its dataVM to the destination shard over the command's
+	// channel.
+	cmdMigrateOut
+	// cmdMigrateIn receives the dataVM from the source shard and attaches
+	// a fresh guest (same still-running workload) to the destination.
+	cmdMigrateIn
+	// cmdRecordLive fills the outcome slot of a VM still resident at the
+	// horizon, without detaching it.
+	cmdRecordLive
+	// cmdPowerOff marks the machine off after a barrier emptied it.
+	cmdPowerOff
+	// cmdBarrier synchronizes every powered-on machine of the shard to
+	// the barrier time, folds energy and VM work into the shard partials,
+	// and signals the coordinator's WaitGroup.
+	cmdBarrier
+	// cmdJoin only signals the WaitGroup: a synchronization point without
+	// a fold (the finalize drain).
+	cmdJoin
+)
+
+// command is one timestamped data-plane operation. The coordinator
+// enqueues commands in its deterministic control order; each shard
+// worker executes its queue strictly in that order, which is what makes
+// the simulation independent of shard and worker counts.
+type command struct {
+	kind cmdKind
+	slot int32 // shard-local machine slot; -1 for barrier/join
+	at   sim.Time
+	d    *dataVM
+	out  *VMOutcome
+	ch   chan *dataVM    // migration hand-off (buffered, capacity 1)
+	wg   *sync.WaitGroup // barrier/join acknowledgement
+}
+
+// cmdQueue is a shard worker's mailbox: the coordinator appends, the
+// worker drains whole batches. Batch slices are recycled through spare.
+type cmdQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []command
+	spare  []command
+	closed bool
+}
+
+func (q *cmdQueue) init() { q.cond = sync.NewCond(&q.mu) }
+
+func (q *cmdQueue) push(c command) {
+	q.mu.Lock()
+	q.buf = append(q.buf, c)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// wait blocks until commands are queued or the queue is closed, and
+// returns the pending batch. ok is false when the queue is closed and
+// fully drained.
+func (q *cmdQueue) wait() (batch []command, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.buf) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.buf) == 0 {
+		return nil, false
+	}
+	batch = q.buf
+	if q.spare != nil {
+		q.buf = q.spare[:0]
+		q.spare = nil
+	} else {
+		q.buf = nil
+	}
+	return batch, true
+}
+
+func (q *cmdQueue) recycle(batch []command) {
+	for i := range batch {
+		batch[i] = command{}
+	}
+	q.mu.Lock()
+	q.spare = batch[:0]
+	q.mu.Unlock()
+}
+
+func (q *cmdQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// shard owns a round-robin slice of the fleet's machines: global
+// machine i lives in shard i % Shards at local slot i / Shards (first
+// fit packs low indices, so round robin spreads the active machines
+// evenly across shards). All fields below are touched only by the
+// owning shard worker while Run executes — except departQ, which is
+// coordinator-owned planning state (the shard-local departure event
+// queue the coordinator pops in (time, name) order), and the interval
+// partials, which the coordinator reads and resets only between a
+// barrier acknowledgement and the next dispatch.
+type shard struct {
+	f  *Fleet
+	id int
+
+	hosts      []*host.Host // constructed lazily at first power-on
+	on         []bool
+	prevEnergy []energy.Energy
+	nextID     []vm.ID
+	resident   [][]*dataVM
+
+	departQ timedHeap
+
+	// rng is the shard's private deterministic stream, decorrelated from
+	// the workload seeds. It drives the sampled consistency audits below
+	// and is the hook for future shard-local stochastic behaviour; it
+	// never influences reported values, so results stay bit-identical
+	// across shard counts.
+	rng *sim.RNG
+
+	// interval partials: the machine -> shard stage of the hierarchical
+	// exact reduction. Integer accumulators, so the shard-count-dependent
+	// fold order cannot change the fleet sums.
+	ivEnergy   energy.Energy
+	ivDemanded sim.Work
+	ivAttained sim.Work
+
+	err      error
+	poisoned bool // err came from a peer's failure, not this shard
+
+	queue cmdQueue
+}
+
+// globalIndex maps a local slot back to the fleet-wide machine index.
+func (s *shard) globalIndex(slot int32) int { return int(slot)*len(s.f.shards) + s.id }
+
+// fail records the shard's first error; later commands run in poison
+// mode (no host work, but hand-offs and barriers still serviced so
+// peers never block).
+func (s *shard) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+func (s *shard) poison(err error) {
+	if s.err == nil {
+		s.err = err
+		s.poisoned = true
+	}
+}
+
+// loop is the persistent worker: it drains command batches in order,
+// holding one of the fleet's gate slots while executing. A worker
+// blocked on a migration hand-off releases its slot first (see
+// execMigrateIn), so a bounded worker count cannot deadlock.
+func (s *shard) loop() {
+	for {
+		batch, ok := s.queue.wait()
+		if !ok {
+			return
+		}
+		s.f.gate.Acquire()
+		for i := range batch {
+			s.exec(&batch[i])
+		}
+		s.f.gate.Release()
+		s.queue.recycle(batch)
+	}
+}
+
+// exec runs one command. After an error the shard is poisoned: host
+// work is skipped, but barriers are still acknowledged and migration
+// hand-offs still serviced, so sibling shards and the coordinator can
+// always make progress; the coordinator collects the error at the next
+// barrier.
+func (s *shard) exec(c *command) {
+	switch c.kind {
+	case cmdBarrier:
+		if s.err == nil {
+			s.execBarrier(c.at)
+		}
+		if c.wg != nil {
+			c.wg.Done()
+		}
+	case cmdJoin:
+		if c.wg != nil {
+			c.wg.Done()
+		}
+	case cmdPowerOn:
+		if s.err == nil {
+			s.execPowerOn(c)
+		}
+	case cmdPowerOff:
+		if s.err == nil {
+			s.on[c.slot] = false
+		}
+	case cmdAddVM:
+		if s.err == nil {
+			s.execAddVM(c)
+		}
+	case cmdRemoveVM:
+		if s.err == nil {
+			s.execRemoveVM(c)
+		}
+	case cmdMigrateOut:
+		s.execMigrateOut(c)
+	case cmdMigrateIn:
+		s.execMigrateIn(c)
+	case cmdRecordLive:
+		if s.err == nil {
+			s.execRecordLive(c)
+		}
+	}
+}
+
+// sync advances one machine's host to the command time. Machines lag
+// behind between the events that involve them; syncing lets the host
+// batch the whole gap.
+func (s *shard) sync(slot int32, at sim.Time) error {
+	h := s.hosts[slot]
+	if h.Now() >= at {
+		return nil
+	}
+	return h.RunUntil(at)
+}
+
+func (s *shard) execPowerOn(c *command) {
+	if s.hosts[c.slot] == nil {
+		// Lazy construction: a machine that is never placed on never
+		// builds a host at all, which is what keeps million-machine
+		// estates affordable. The host starts at time zero either way, so
+		// the catch-up below is identical to an eagerly built host's.
+		spec := s.f.specs[s.f.classOf[s.globalIndex(c.slot)]]
+		h, err := newMachineHost(spec, s.f.cfg)
+		if err != nil {
+			s.fail(fmt.Errorf("fleet: machine %d: %w", s.globalIndex(c.slot), err))
+			return
+		}
+		s.hosts[c.slot] = h
+	}
+	if err := s.sync(c.slot, c.at); err != nil {
+		s.fail(err)
+		return
+	}
+	s.prevEnergy[c.slot] = s.hosts[c.slot].Energy().Total()
+	s.on[c.slot] = true
+}
+
+func (s *shard) execAddVM(c *command) {
+	if err := s.sync(c.slot, c.at); err != nil {
+		s.fail(err)
+		return
+	}
+	d := c.d
+	wl, err := workload.NewWebApp(workload.WebAppConfig{
+		Phases:        d.phases,
+		Deterministic: d.deterministic,
+		MaxBacklog:    -1, // unbounded: unserved demand stays visible to the SLA
+		Seed:          d.seed,
+	})
+	if err != nil {
+		s.fail(fmt.Errorf("fleet: VM %s workload: %w", d.name, err))
+		return
+	}
+	guest, err := vm.New(s.nextID[c.slot], vm.Config{Name: d.name, Credit: d.credit})
+	if err != nil {
+		s.fail(fmt.Errorf("fleet: VM %s: %w", d.name, err))
+		return
+	}
+	s.nextID[c.slot]++
+	guest.SetWorkload(wl)
+	if err := s.hosts[c.slot].AddVM(guest); err != nil {
+		s.fail(fmt.Errorf("fleet: VM %s on machine %d: %w", d.name, s.globalIndex(c.slot), err))
+		return
+	}
+	d.guest, d.wl = guest, wl
+	s.resident[c.slot] = append(s.resident[c.slot], d)
+}
+
+// detach removes the dataVM from the machine's resident list and its
+// guest from the host.
+func (s *shard) detach(slot int32, d *dataVM, op string) error {
+	if err := s.hosts[slot].RemoveVM(d.guest.ID()); err != nil {
+		return fmt.Errorf("fleet: %s %s: %w", op, d.name, err)
+	}
+	res := s.resident[slot]
+	for i, r := range res {
+		if r == d {
+			res[i] = res[len(res)-1]
+			res[len(res)-1] = nil
+			s.resident[slot] = res[:len(res)-1]
+			break
+		}
+	}
+	return nil
+}
+
+// fold ticks the VM's workload up to its host's clock and folds the
+// demanded/attained deltas into the shard partials, returning the
+// cumulative tallies. Batched host stretches skip workload ticks (the
+// batching certification proves nothing arrives inside them), so
+// ticking here is idempotent and keeps batched and reference runs
+// reporting identical demand.
+func (s *shard) fold(slot int32, d *dataVM) (demanded, attained sim.Work) {
+	d.wl.Tick(s.hosts[slot].Now())
+	dem, att := d.demanded(), d.wl.CompletedWork()
+	s.ivDemanded += dem - d.prevDemanded
+	s.ivAttained += att - d.prevAttained
+	d.prevDemanded, d.prevAttained = dem, att
+	return dem, att
+}
+
+func (s *shard) execRemoveVM(c *command) {
+	if err := s.sync(c.slot, c.at); err != nil {
+		s.fail(err)
+		return
+	}
+	d := c.d
+	if err := s.detach(c.slot, d, "depart"); err != nil {
+		s.fail(err)
+		return
+	}
+	dem, att := s.fold(c.slot, d)
+	c.out.DemandedWork = dem.Units()
+	c.out.AttainedWork = att.Units()
+	c.out.SLA = slaOf(att, dem)
+	s.f.putDataVM(d)
+}
+
+func (s *shard) execMigrateOut(c *command) {
+	if s.err != nil {
+		c.ch <- nil // keep the destination shard from blocking forever
+		return
+	}
+	if err := s.sync(c.slot, c.at); err != nil {
+		s.fail(err)
+		c.ch <- nil
+		return
+	}
+	d := c.d
+	if err := s.detach(c.slot, d, "migrate"); err != nil {
+		s.fail(err)
+		c.ch <- nil
+		return
+	}
+	d.guest = nil
+	c.ch <- d
+}
+
+func (s *shard) execMigrateIn(c *command) {
+	if s.err != nil {
+		return // the source's send is buffered; no drain needed
+	}
+	var d *dataVM
+	select {
+	case d = <-c.ch:
+	default:
+		// The source shard has not executed its MigrateOut yet. Release
+		// the gate slot while blocked so the source can run: this is the
+		// one place a worker waits on another worker.
+		s.f.gate.Release()
+		select {
+		case d = <-c.ch:
+		case <-s.f.abort:
+		}
+		s.f.gate.Acquire()
+	}
+	if d == nil {
+		s.poison(fmt.Errorf("fleet: migration into shard %d poisoned by peer failure", s.id))
+		return
+	}
+	if err := s.sync(c.slot, c.at); err != nil {
+		s.fail(err)
+		return
+	}
+	guest, err := vm.New(s.nextID[c.slot], vm.Config{Name: d.name, Credit: d.credit})
+	if err != nil {
+		s.fail(fmt.Errorf("fleet: migrate %s: %w", d.name, err))
+		return
+	}
+	s.nextID[c.slot]++
+	guest.SetWorkload(d.wl)
+	if err := s.hosts[c.slot].AddVM(guest); err != nil {
+		s.fail(fmt.Errorf("fleet: migrate %s to machine %d: %w", d.name, s.globalIndex(c.slot), err))
+		return
+	}
+	d.guest = guest
+	s.resident[c.slot] = append(s.resident[c.slot], d)
+}
+
+func (s *shard) execRecordLive(c *command) {
+	d := c.d
+	d.wl.Tick(s.hosts[c.slot].Now())
+	dem, att := d.demanded(), d.wl.CompletedWork()
+	c.out.DemandedWork = dem.Units()
+	c.out.AttainedWork = att.Units()
+	c.out.SLA = slaOf(att, dem)
+}
+
+// execBarrier catches every powered-on machine of the shard up to t,
+// rolls its energy delta and its residents' work deltas into the shard
+// partials (exact integers: the machine -> shard reduction), and
+// occasionally audits the shard's internal consistency on its private
+// random stream.
+func (s *shard) execBarrier(t sim.Time) {
+	for slot := range s.hosts {
+		if !s.on[slot] {
+			continue
+		}
+		h := s.hosts[slot]
+		if h.Now() < t {
+			if err := h.RunUntil(t); err != nil {
+				s.fail(err)
+				return
+			}
+		}
+		e := h.Energy().Total()
+		s.ivEnergy = s.ivEnergy.Add(e.Sub(s.prevEnergy[slot]))
+		s.prevEnergy[slot] = e
+		for _, d := range s.resident[slot] {
+			s.fold(int32(slot), d)
+		}
+	}
+	if s.rng.Intn(64) == 0 {
+		s.audit()
+	}
+}
+
+// audit spot-checks shard invariants: powered-off machines host
+// nothing, powered-on machines have a constructed host. Sampled (1/64
+// of barriers) so million-machine shards pay nothing measurable.
+func (s *shard) audit() {
+	for slot := range s.hosts {
+		if !s.on[slot] && len(s.resident[slot]) > 0 {
+			s.fail(fmt.Errorf("fleet: shard %d: machine %d is off with %d resident VMs",
+				s.id, s.globalIndex(int32(slot)), len(s.resident[slot])))
+			return
+		}
+		if s.on[slot] && s.hosts[slot] == nil {
+			s.fail(fmt.Errorf("fleet: shard %d: machine %d is on without a host",
+				s.id, s.globalIndex(int32(slot))))
+			return
+		}
+	}
+}

@@ -13,8 +13,21 @@
 // built for: every machine is a full simulated host (internal/host)
 // running PAS or fix-credit, machines advance independently between
 // fleet-level events so event-horizon batching folds the long
-// uninterrupted stretches, and the parallel worker pool catches all
-// powered-on machines up at every reporting barrier.
+// uninterrupted stretches, and all machines synchronize only at
+// reporting barriers.
+//
+// Execution is sharded: machine i belongs to shard i % Shards, each
+// shard owning its hosts, departure heap and RNG stream, stepped by a
+// persistent worker. The event loop itself is a sequential control
+// plane — placement, consolidation planning and migration bookkeeping
+// run on the coordinator against bookkeeping-only MachineState — that
+// dispatches host work to shards as timestamped commands; cross-shard
+// migrations hand the VM off in (time, dispatch-sequence) order. All
+// reduced quantities are exact integers (sim.Work, energy.Energy), so
+// the machine → shard → fleet reduction is order-independent and the
+// report is bit-identical for every shard and worker count. Results
+// can be streamed through Sink instead of (or alongside) the buffered
+// Report, keeping memory proportional to machines + live VMs.
 package fleet
 
 import (

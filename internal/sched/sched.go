@@ -155,6 +155,9 @@ type PatternBatcher interface {
 	//     than two quanta, or a policy the scheduler cannot fold); the
 	//     caller falls back to the reference Pick/Charge/Tick cycle. No
 	//     scheduler state is committed in this case.
+	//
+	// The returned slice is only valid until this scheduler's next
+	// BatchPattern call: implementations reuse the backing buffer.
 	BatchPattern(quota []PatternQuota, quantum sim.Time, max int, now sim.Time) ([]PatternPick, bool)
 }
 
@@ -262,10 +265,14 @@ func rotationPattern(vms []*vm.VM, cursor *rrQueue, quota []PatternQuota,
 		return nil
 	}
 	order := cursor.rotation(len(vms), eligible)
-	picks := make([]PatternPick, len(order))
-	for j, i := range order {
-		picks[j] = PatternPick{VM: vms[i], Quanta: rotations}
+	for i := range cursor.pickBuf {
+		cursor.pickBuf[i] = PatternPick{} // drop stale VM pointers
 	}
+	picks := cursor.pickBuf[:0]
+	for _, i := range order {
+		picks = append(picks, PatternPick{VM: vms[i], Quanta: rotations})
+	}
+	cursor.pickBuf = picks
 	return picks
 }
 
@@ -284,8 +291,13 @@ func IndexOf(vms []*vm.VM, v *vm.VM) int {
 
 // rrQueue is a tiny round-robin helper: it remembers the last VM served and
 // starts the next scan after it, giving equal service to equal claimants.
+// The order and pick buffers are reused across rotations — batch pattern
+// construction runs on every contended host step, and a fresh slice per
+// step was the schedulers' dominant allocation.
 type rrQueue struct {
-	last int
+	last     int
+	orderBuf []int
+	pickBuf  []PatternPick
 }
 
 // next scans candidates round-robin starting after the previously served
@@ -317,15 +329,17 @@ func (q *rrQueue) rotation(n int, ok func(i int) bool) []int {
 		return nil
 	}
 	start := q.last + 1
-	var order []int
+	order := q.orderBuf[:0]
 	for k := 0; k < n; k++ {
 		i := (start + k) % n
 		if ok(i) {
 			order = append(order, i)
 		}
 	}
-	if len(order) > 0 {
-		q.last = order[len(order)-1]
+	q.orderBuf = order
+	if len(order) == 0 {
+		return nil
 	}
+	q.last = order[len(order)-1]
 	return order
 }
