@@ -212,6 +212,10 @@ func benchFleet(b *testing.B, trace *fleet.Trace, cfg fleet.Config, horizon sim.
 // and eight worker-stepped shards (s8, the multi-core speedup; both
 // produce bit-identical reports).
 //
+// serve repeats s1 with the request-level serving layer enabled,
+// gating its hot-path overhead (client streams, attained-rate service,
+// histogram folds) and allocations.
+//
 // large is the datacenter-scale class: 50k machines, 500k VM
 // lifecycles, sharded with streaming discard so memory stays
 // O(machines + live VMs). First-fit placement — the O(active-prefix)
@@ -239,6 +243,16 @@ func BenchmarkFleetRun(b *testing.B) {
 	b.Run("s8", func(b *testing.B) {
 		cfg := base
 		cfg.Shards, cfg.Workers = 8, 8
+		benchFleet(b, trace, cfg, horizon)
+	})
+	// serve layers the request-level serving model on s1: per-VM client
+	// streams, attained-rate service and latency histogram folds all run
+	// on the hot path, so this gates the serving layer's overhead and
+	// allocations against the plain s1 numbers.
+	b.Run("serve", func(b *testing.B) {
+		cfg := base
+		cfg.Shards, cfg.Workers = 1, 1
+		cfg.Serving = fleet.ServingConfig{Enabled: true}
 		benchFleet(b, trace, cfg, horizon)
 	})
 	b.Run("large", func(b *testing.B) {

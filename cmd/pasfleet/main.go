@@ -10,6 +10,11 @@
 //	pasfleet -trace trace.csv -sched credit -csv intervals.csv -json report.json
 //	pasfleet -arrivals 200 -write-trace trace.csv
 //	pasfleet -machines 1000000 -shards 8 -stream csv:intervals.csv -no-report
+//	pasfleet -serve -report 2 -sched credit2   # request latency percentiles
+//
+// -serve layers the request-level serving model on every VM: reply
+// latencies derive from each VM's attained work rate, and the report
+// grows p50/p95/p99 columns plus per-class latency summaries.
 //
 // Large estates run sharded (-shards, -workers) with streaming output
 // (-stream) so memory stays proportional to the live fleet, not to the
@@ -47,7 +52,9 @@ func run(args []string, out, errOut io.Writer) int {
 		horizon     = fs.Float64("horizon", 600, "simulated horizon in seconds")
 		seed        = fs.Uint64("seed", 42, "trace and workload seed")
 		policyName  = fs.String("policy", "first-fit", "placement policy: first-fit, best-fit or dvfs-aware")
-		schedName   = fs.String("sched", "pas", "per-machine scheduler: "+fleet.SchedulerNames)
+		schedName   = fs.String("sched", "pas", "per-machine scheduler: "+fleet.SchedulerNames())
+		serve       = fs.Bool("serve", false, "enable the request-level serving layer (per-VM clients, reply-latency percentiles)")
+		serveSlots  = fs.Int("serve-slots", 0, "per-VM service slots (0 = default)")
 		report      = fs.Float64("report", 30, "reporting interval in seconds")
 		consolidate = fs.Float64("consolidate", 120, "consolidation interval in seconds (0 disables)")
 		shards      = fs.Int("shards", 0, "machine shards stepped by independent workers (0 = one per worker)")
@@ -71,7 +78,7 @@ func run(args []string, out, errOut io.Writer) int {
 	// mistake, e.g. an unset shell variable.
 	if *schedName == "" || !fleet.ValidScheduler(*schedName) {
 		fmt.Fprintf(errOut, "pasfleet: unknown scheduler %q (accepted: %s)\n",
-			*schedName, fleet.SchedulerNames)
+			*schedName, fleet.SchedulerNames())
 		return 2
 	}
 	if *shards < 0 {
@@ -191,6 +198,7 @@ func run(args []string, out, errOut io.Writer) int {
 		Seed:             *seed,
 		Sinks:            sinks,
 		DiscardReport:    *noReport,
+		Serving:          fleet.ServingConfig{Enabled: *serve, Slots: *serveSlots},
 	}, tr)
 	if err != nil {
 		fmt.Fprintln(errOut, err)
@@ -273,6 +281,13 @@ func printSummary(out io.Writer, rep *fleet.Report) {
 	tb.AddRow("overall SLA", fmt.Sprintf("%.4f", s.OverallSLA))
 	tb.AddRow("mean / min per-VM SLA", fmt.Sprintf("%.4f / %.4f", s.MeanVMSLA, s.MinVMSLA))
 	tb.AddRow("VMs below 95% SLA", fmt.Sprintf("%d", s.VMsBelow95))
+	if s.RequestsOffered > 0 {
+		tb.AddRow("requests offered / completed", fmt.Sprintf("%d / %d", s.RequestsOffered, s.RequestsCompleted))
+		tb.AddRow("requests abandoned / in flight", fmt.Sprintf("%d / %d", s.RequestsAbandoned, s.RequestsInFlight))
+		tb.AddRow("reply latency p50 / p95 / p99 (ms)",
+			fmt.Sprintf("%.2f / %.2f / %.2f", s.ReqP50Ms, s.ReqP95Ms, s.ReqP99Ms))
+		tb.AddRow("reply latency mean / max (ms)", fmt.Sprintf("%.2f / %.2f", s.ReqMeanMs, s.ReqMaxMs))
+	}
 	tb.AddRow("batched / stepped quanta", fmt.Sprintf("%d / %d", s.BatchedQuanta, s.SteppedQuanta))
 	fmt.Fprintln(out, tb.Render())
 }

@@ -44,13 +44,13 @@ func main() {
 	type runCfg struct {
 		label  string
 		policy fleet.Policy
-		usePAS bool
+		sched  string
 	}
 	runs := []runCfg{
-		{"first-fit / fix-credit", fleet.NewFirstFit(), false},
-		{"first-fit / PAS", fleet.NewFirstFit(), true},
-		{"dvfs-aware / fix-credit", fleet.NewDVFSAware(), false},
-		{"dvfs-aware / PAS", fleet.NewDVFSAware(), true},
+		{"first-fit / fix-credit", fleet.NewFirstFit(), "credit"},
+		{"first-fit / PAS", fleet.NewFirstFit(), "pas"},
+		{"dvfs-aware / fix-credit", fleet.NewDVFSAware(), "credit"},
+		{"dvfs-aware / PAS", fleet.NewDVFSAware(), "pas"},
 	}
 
 	tb := metrics.NewTable("Cluster-level outcome per configuration:",
@@ -60,7 +60,7 @@ func main() {
 	for i, rc := range runs {
 		fl, err := fleet.New(fleet.Config{
 			Machines:         fleet.DefaultEstate(machines),
-			UsePAS:           rc.usePAS,
+			Scheduler:        rc.sched,
 			Policy:           rc.policy,
 			ReportEvery:      30 * sim.Second,
 			ConsolidateEvery: 120 * sim.Second,

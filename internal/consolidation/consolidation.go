@@ -12,11 +12,9 @@ import (
 	"fmt"
 	"sort"
 
-	"pasched/internal/core"
 	"pasched/internal/cpufreq"
 	"pasched/internal/energy"
 	"pasched/internal/host"
-	"pasched/internal/sched"
 	"pasched/internal/sim"
 	"pasched/internal/vm"
 	"pasched/internal/workload"
@@ -272,12 +270,10 @@ type HostOptions struct {
 	// second, keeping per-host recorder memory flat at thousands of
 	// machines. Zero keeps the host default.
 	SampleEvery sim.Time
-	// Scheduler overrides the usePAS choice with a scheduler by name:
-	// "pas" (cap-based credit compensation), "credit" (fix-credit),
-	// "credit2" (weight-proportional work-conserving, pinned at the
-	// maximum frequency like the fix-credit baseline) or "pas-credit2"
-	// (the PAS DVFS policy with Credit2 weight enforcement instead of
-	// caps). Empty defers to usePAS.
+	// Scheduler overrides the usePAS choice with a scheduler by name,
+	// resolved against the scheduler registry (see SchedulerNames for
+	// the accepted values and Schedulers for descriptions). Empty
+	// defers to usePAS.
 	Scheduler string
 }
 
@@ -295,27 +291,13 @@ func NewHostWithOptions(spec HostSpec, usePAS bool, opts HostOptions) (*host.Hos
 			name = "credit"
 		}
 	}
-	var s sched.Scheduler
-	var bind interface{ BindLoadSource(core.LoadSource) }
-	switch name {
-	case "pas":
-		pas, err := core.NewPAS(core.PASConfig{CPU: cpu, CF: spec.Profile.EfficiencyTable()})
-		if err != nil {
-			return nil, err
-		}
-		s, bind = pas, pas
-	case "pas-credit2":
-		pc2, err := core.NewPASCredit2(core.PASCredit2Config{CPU: cpu, CF: spec.Profile.EfficiencyTable()})
-		if err != nil {
-			return nil, err
-		}
-		s, bind = pc2, pc2
-	case "credit", "fix-credit":
-		s = sched.NewCredit(sched.CreditConfig{})
-	case "credit2":
-		s = sched.NewCredit2()
-	default:
-		return nil, fmt.Errorf("consolidation: unknown scheduler %q (pas, credit, credit2, pas-credit2)", name)
+	entry, ok := lookupScheduler(name)
+	if !ok {
+		return nil, fmt.Errorf("consolidation: unknown scheduler %q (%s)", name, SchedulerNames())
+	}
+	s, bind, err := entry.build(cpu, spec.Profile)
+	if err != nil {
+		return nil, err
 	}
 	h, err := host.New(host.Config{
 		CPU:            cpu,

@@ -1,0 +1,71 @@
+package consolidation
+
+import (
+	"strings"
+	"testing"
+
+	"pasched/internal/cpufreq"
+)
+
+// TestSchedulerRegistry pins the registry surface every layer derives
+// from: canonical names and aliases resolve, unknown names fail, the
+// usage string lists every entry, and each constructor builds a working
+// scheduler against a real profile.
+func TestSchedulerRegistry(t *testing.T) {
+	for name, want := range map[string]string{
+		"pas":         "pas",
+		"credit":      "credit",
+		"fix-credit":  "credit",
+		"credit2":     "credit2",
+		"sedf":        "sedf",
+		"pas-credit2": "pas-credit2",
+	} {
+		got, ok := CanonicalScheduler(name)
+		if !ok || got != want {
+			t.Errorf("CanonicalScheduler(%q) = %q, %v; want %q, true", name, got, ok, want)
+		}
+		if !ValidScheduler(name) {
+			t.Errorf("ValidScheduler(%q) = false", name)
+		}
+	}
+	for _, name := range []string{"", "Credit", "pas2", "cfs"} {
+		if _, ok := CanonicalScheduler(name); ok {
+			t.Errorf("CanonicalScheduler(%q) accepted", name)
+		}
+	}
+
+	names := SchedulerNames()
+	specs := Schedulers()
+	if len(specs) != len(schedulerRegistry) {
+		t.Fatalf("Schedulers() returned %d entries, registry has %d", len(specs), len(schedulerRegistry))
+	}
+	for _, s := range specs {
+		if s.Description == "" {
+			t.Errorf("scheduler %q has no description", s.Name)
+		}
+		if !strings.Contains(names, s.Name) {
+			t.Errorf("SchedulerNames() %q misses %q", names, s.Name)
+		}
+		for _, a := range s.Aliases {
+			if !strings.Contains(names, a) {
+				t.Errorf("SchedulerNames() %q misses alias %q", names, a)
+			}
+		}
+	}
+
+	profile := cpufreq.Optiplex755()
+	for _, s := range schedulerRegistry {
+		cpu, err := cpufreq.NewCPU(profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, _, err := s.build(cpu, profile)
+		if err != nil {
+			t.Errorf("build %q: %v", s.Name, err)
+			continue
+		}
+		if sc == nil {
+			t.Errorf("build %q returned a nil scheduler", s.Name)
+		}
+	}
+}

@@ -3,12 +3,14 @@ package experiments
 import (
 	"fmt"
 
+	"pasched/internal/consolidation"
 	"pasched/internal/metrics"
 )
 
-// TraceSchedulers lists the scheduler names Trace accepts, for CLI usage
+// TraceSchedulers lists the scheduler names Trace accepts — the shared
+// scheduler registry (consolidation.SchedulerNames) — for CLI usage
 // strings and up-front flag validation.
-const TraceSchedulers = "credit, credit2, sedf, pas, pas-credit2"
+var TraceSchedulers = consolidation.SchedulerNames()
 
 // Trace runs one Section 5.3 scenario with the named configuration and
 // returns the full recorder, for CSV export by cmd/pastrace. Valid
@@ -16,8 +18,14 @@ const TraceSchedulers = "credit, credit2, sedf, pas, pas-credit2"
 // "ondemand" (stock), "paper", "none". Valid loads: "exact",
 // "thrashing".
 func Trace(scheduler, gov, load string, seed uint64) (*metrics.Recorder, error) {
+	// Names and aliases resolve against the shared registry, so
+	// "fix-credit" means the same scheduler here as everywhere else.
+	canonical, ok := consolidation.CanonicalScheduler(scheduler)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown scheduler %q (%s)", scheduler, TraceSchedulers)
+	}
 	var sk schedKind
-	switch scheduler {
+	switch canonical {
 	case "credit":
 		sk = schedCredit
 	case "credit2":
@@ -29,7 +37,7 @@ func Trace(scheduler, gov, load string, seed uint64) (*metrics.Recorder, error) 
 	case "pas-credit2":
 		sk = schedPASCredit2
 	default:
-		return nil, fmt.Errorf("experiments: unknown scheduler %q (%s)", scheduler, TraceSchedulers)
+		return nil, fmt.Errorf("experiments: scheduler %q has no Section 5.3 scenario", canonical)
 	}
 	var gk govKind
 	switch gov {

@@ -11,8 +11,10 @@ import (
 	"pasched/internal/energy"
 	"pasched/internal/engine"
 	"pasched/internal/host"
+	"pasched/internal/serve"
 	"pasched/internal/sim"
 	"pasched/internal/vm"
+	"pasched/internal/workload"
 )
 
 // MachineClass is one hardware class of the fleet: Count identical
@@ -60,12 +62,15 @@ type Config struct {
 	// UsePAS selects the scheduler on every machine: the PAS scheduler
 	// (DVFS with credit compensation) or the fix-credit baseline pinned
 	// at the maximum frequency.
+	//
+	// Deprecated: UsePAS survives as a thin alias for Scheduler "pas"
+	// (true) / "credit" (false); new code should set Scheduler.
 	UsePAS bool
-	// Scheduler selects the per-machine scheduler by name — "pas"
-	// (cap-based credit compensation), "credit" (fix-credit), "credit2"
-	// (weight-proportional work-conserving) or "pas-credit2" (the PAS
-	// DVFS policy enforcing shares through Credit2 weights instead of
-	// caps) — overriding UsePAS. Empty defers to UsePAS.
+	// Scheduler selects the per-machine scheduler by name, resolved
+	// against the scheduler registry shared with the consolidation
+	// package and the CLIs — see SchedulerNames for the accepted names
+	// and aliases, consolidation.Schedulers for descriptions. It
+	// overrides UsePAS; empty defers to UsePAS.
 	Scheduler string
 	// Policy decides placement (and consolidation targets). Default
 	// first-fit.
@@ -113,20 +118,45 @@ type Config struct {
 	// O(machines + live VMs) instead of O(history) — the mode for
 	// million-machine runs combined with streaming Sinks.
 	DiscardReport bool
+	// Serving enables the request-level serving layer: per-VM client
+	// populations, service slots and reply-latency histograms layered
+	// on the CPU simulation. See ServingConfig.
+	Serving ServingConfig
 }
 
-// SchedulerNames lists the scheduler names Config.Scheduler accepts,
-// for CLI usage strings and up-front flag validation.
-const SchedulerNames = "pas, credit (fix-credit), credit2, pas-credit2"
+// ServingConfig configures the optional request-level serving layer
+// (internal/serve): every placed VM gets a seeded client population
+// generating an open-loop request stream from the VM's demand profile,
+// served by per-VM slots whose rate is the VM's *attained* CPU work —
+// so credit enforcement and frequency scaling show up as user-visible
+// queueing and tail latency. Servers advance at reporting barriers on
+// the exact integer attained-work ledger, and latencies reduce
+// machine → shard → fleet as fixed-ladder histogram sums, so every
+// percentile in the report is bit-identical for any shard and worker
+// count.
+type ServingConfig struct {
+	// Enabled switches the serving layer on.
+	Enabled bool
+	// Slots is the per-VM concurrent service slot count; zero selects
+	// serve.DefaultSlots.
+	Slots int
+	// RequestCost is the service demand of one request in work units;
+	// zero selects workload.DefaultRequestCost /
+	// serve.DefaultRequestCostDivisor — a fifth of a demand request, so
+	// a healthy VM serves its stream with five-fold headroom and
+	// queueing appears exactly when enforcement throttles it.
+	RequestCost float64
+}
+
+// SchedulerNames renders the scheduler names Config.Scheduler accepts —
+// the consolidation scheduler registry, the single source of truth
+// shared with every CLI — for usage strings and up-front validation.
+func SchedulerNames() string { return consolidation.SchedulerNames() }
 
 // ValidScheduler reports whether name is an accepted Config.Scheduler
 // value (the empty string defers to UsePAS).
 func ValidScheduler(name string) bool {
-	switch name {
-	case "", "pas", "credit", "fix-credit", "credit2", "pas-credit2":
-		return true
-	}
-	return false
+	return name == "" || consolidation.ValidScheduler(name)
 }
 
 // withDefaults validates the configuration and fills defaults.
@@ -174,10 +204,10 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.Shards > total {
 		cfg.Shards = total
 	}
-	// Membership is ValidScheduler's single source of truth; only the
+	// The registry is membership's single source of truth; only the
 	// UsePAS-conflict logic lives here.
 	if !ValidScheduler(cfg.Scheduler) {
-		return cfg, fmt.Errorf("fleet: unknown scheduler %q (accepted: %s)", cfg.Scheduler, SchedulerNames)
+		return cfg, fmt.Errorf("fleet: unknown scheduler %q (accepted: %s)", cfg.Scheduler, SchedulerNames())
 	}
 	if cfg.Scheduler == "" {
 		if cfg.UsePAS {
@@ -185,8 +215,24 @@ func (cfg Config) withDefaults() (Config, error) {
 		} else {
 			cfg.Scheduler = "credit"
 		}
-	} else if cfg.UsePAS && cfg.Scheduler != "pas" {
-		return cfg, fmt.Errorf("fleet: UsePAS conflicts with scheduler %q", cfg.Scheduler)
+	} else {
+		cfg.Scheduler, _ = consolidation.CanonicalScheduler(cfg.Scheduler)
+		if cfg.UsePAS && cfg.Scheduler != "pas" {
+			return cfg, fmt.Errorf("fleet: UsePAS conflicts with scheduler %q", cfg.Scheduler)
+		}
+	}
+	if cfg.Serving.Enabled {
+		if cfg.Serving.Slots == 0 {
+			cfg.Serving.Slots = serve.DefaultSlots
+		}
+		if cfg.Serving.RequestCost == 0 {
+			cfg.Serving.RequestCost = workload.DefaultRequestCost / serve.DefaultRequestCostDivisor
+		}
+		// Probe-validate the resolved serving parameters here, so a bad
+		// slot count or cost fails at New instead of mid-run on a shard.
+		if _, err := serve.New(serve.Config{Slots: cfg.Serving.Slots, RequestCost: cfg.Serving.RequestCost}); err != nil {
+			return cfg, fmt.Errorf("fleet: %w", err)
+		}
 	}
 	return cfg, nil
 }
@@ -296,6 +342,15 @@ type Fleet struct {
 	specs   []consolidation.HostSpec // per class, defaults applied
 	caps    []float64                // per class: placeable credit capacity (%)
 	classOf []int32                  // machine -> class index
+
+	// serving reduction state (Serving.Enabled only): the VM-class index
+	// the shard histograms are keyed by, the cumulative per-class
+	// latency histograms, and the current-interval fleet-wide histogram,
+	// both merged from the shard partials at barriers.
+	classNames []string
+	classIdx   map[string]int32
+	latClass   []serve.Histogram
+	ivLat      serve.Histogram
 
 	shards  []*shard
 	gate    *engine.Gate
@@ -438,6 +493,21 @@ func New(cfg Config, trace *Trace) (*Fleet, error) {
 	f.inbound = make([]int32, total)
 	f.everOn = make([]bool, total)
 
+	if cfg.Serving.Enabled {
+		// Sorted class names give every run the same class indexing, so
+		// per-class reductions and reports are trace-order-independent.
+		f.classNames = make([]string, 0, len(trace.Classes))
+		for name := range trace.Classes {
+			f.classNames = append(f.classNames, name)
+		}
+		sort.Strings(f.classNames)
+		f.classIdx = make(map[string]int32, len(f.classNames))
+		for ci, name := range f.classNames {
+			f.classIdx[name] = int32(ci)
+		}
+		f.latClass = make([]serve.Histogram, len(f.classNames))
+	}
+
 	ns := cfg.Shards
 	f.gate = engine.NewGate(cfg.Workers)
 	f.inline = ns == 1 || cfg.Workers == 1
@@ -453,6 +523,9 @@ func New(cfg Config, trace *Trace) (*Fleet, error) {
 			nextID:     make([]vm.ID, n),
 			resident:   make([][]*dataVM, n),
 			rng:        sim.NewRNG(cfg.Seed ^ (uint64(si+1) * 0x9e3779b97f4a7c15)),
+		}
+		if cfg.Serving.Enabled {
+			s.lat = make([]serve.Histogram, len(f.classNames))
 		}
 		for slot := range s.nextID {
 			s.nextID[slot] = 1
@@ -642,6 +715,17 @@ func (f *Fleet) barrier(t sim.Time) error {
 		f.ivAttained += s.ivAttained
 		s.ivEnergy = energy.Energy{}
 		s.ivDemanded, s.ivAttained = 0, 0
+		// Latency partials merge by elementwise sum — commutative and
+		// associative — so the shard iteration order cannot influence
+		// the merged histograms.
+		for ci := range s.lat {
+			if s.lat[ci].Count() == 0 {
+				continue
+			}
+			f.ivLat.Merge(&s.lat[ci])
+			f.latClass[ci].Merge(&s.lat[ci])
+			s.lat[ci].Reset()
+		}
 	}
 	return nil
 }
@@ -853,6 +937,14 @@ func (f *Fleet) arrive(ev *VMEvent) error {
 	d.seed = f.cfg.Seed + uint64(f.arrived)*0x9e3779b97f4a7c15 + 1
 	d.deterministic = f.cfg.DeterministicArrivals
 	d.phases = ev.demandPhases(class, f.horizon)
+	if f.cfg.Serving.Enabled {
+		d.class = f.classIdx[ev.Class]
+		// The serving clients draw from their own seed lane (offset 2
+		// against the workload's 1) of the same coordinator-ordered
+		// arrival index, so the two streams stay decorrelated and both
+		// are sharding-invariant.
+		d.serveSeed = f.cfg.Seed + uint64(f.arrived)*0x9e3779b97f4a7c15 + 2
+	}
 	if err := f.dispatch(idx, command{kind: cmdAddVM, at: f.now, d: d}); err != nil {
 		return err
 	}
@@ -1106,7 +1198,7 @@ func (f *Fleet) flushOutcomes() error {
 			f.below95++
 		}
 		for _, sink := range f.sinks {
-			if err := sink.Outcome(*o); err != nil {
+			if err := sink.Outcome(o); err != nil {
 				return err
 			}
 		}
@@ -1158,6 +1250,15 @@ func (f *Fleet) reportBarrier(t sim.Time) error {
 	if dt := (t - f.lastSample).Seconds(); dt > 0 {
 		f.iv.AvgPowerW = f.iv.Joules / dt
 	}
+	if f.cfg.Serving.Enabled {
+		f.iv.Requests = f.ivLat.Count()
+		if f.iv.Requests > 0 {
+			f.iv.ReqP50Ms = float64(f.ivLat.Quantile(0.50)) / 1e3
+			f.iv.ReqP95Ms = float64(f.ivLat.Quantile(0.95)) / 1e3
+			f.iv.ReqP99Ms = float64(f.ivLat.Quantile(0.99)) / 1e3
+		}
+		f.ivLat.Reset()
+	}
 	dt := f.iv.TimeS - f.prevTimeS
 	f.prevTimeS = f.iv.TimeS
 	f.sumDt += dt
@@ -1166,7 +1267,7 @@ func (f *Fleet) reportBarrier(t sim.Time) error {
 		f.peakActive = active
 	}
 	for _, sink := range f.sinks {
-		if err := sink.Interval(f.iv); err != nil {
+		if err := sink.Interval(&f.iv); err != nil {
 			return err
 		}
 	}
@@ -1259,9 +1360,50 @@ func (f *Fleet) finalize() error {
 	} else {
 		s.MeanVMSLA = 1
 	}
+	if f.cfg.Serving.Enabled {
+		for _, sh := range f.shards {
+			s.RequestsOffered += sh.servOffered
+			s.RequestsCompleted += sh.servCompleted
+			s.RequestsAbandoned += sh.servAbandoned
+			s.RequestsInFlight += sh.servInFlight
+		}
+		var all serve.Histogram
+		for ci := range f.latClass {
+			all.Merge(&f.latClass[ci])
+		}
+		// Every VM's completions were both recorded into a histogram at
+		// fold time and tallied at its depart/horizon record; a mismatch
+		// means the serving ledger leaked.
+		if all.Count() != s.RequestsCompleted {
+			return fmt.Errorf("fleet: serving ledger mismatch: %d completions recorded, %d tallied",
+				all.Count(), s.RequestsCompleted)
+		}
+		if n := all.Count(); n > 0 {
+			s.ReqP50Ms = float64(all.Quantile(0.50)) / 1e3
+			s.ReqP95Ms = float64(all.Quantile(0.95)) / 1e3
+			s.ReqP99Ms = float64(all.Quantile(0.99)) / 1e3
+			s.ReqMeanMs = float64(all.Sum()) / float64(n) / 1e3
+			s.ReqMaxMs = float64(all.Max()) / 1e3
+		}
+		for ci, name := range f.classNames {
+			h := &f.latClass[ci]
+			if h.Count() == 0 {
+				continue
+			}
+			s.ClassLatency = append(s.ClassLatency, ClassLatency{
+				Class:    name,
+				Requests: h.Count(),
+				P50Ms:    float64(h.Quantile(0.50)) / 1e3,
+				P95Ms:    float64(h.Quantile(0.95)) / 1e3,
+				P99Ms:    float64(h.Quantile(0.99)) / 1e3,
+				MeanMs:   float64(h.Sum()) / float64(h.Count()) / 1e3,
+				MaxMs:    float64(h.Max()) / 1e3,
+			})
+		}
+	}
 	f.rep.Summary = s
 	for _, sink := range f.sinks {
-		if err := sink.Finish(s); err != nil {
+		if err := sink.Finish(&s); err != nil {
 			return err
 		}
 	}

@@ -114,3 +114,60 @@ func FuzzShardMigration(f *testing.F) {
 		}
 	})
 }
+
+// FuzzServeShardEquivalence is FuzzShardMigration with the serving
+// layer enabled: latency histograms fold on shard workers and merge on
+// the coordinator, and the resulting percentiles must be bit-exact for
+// arbitrary shard/worker splits — including requests whose service
+// spans a live migration.
+func FuzzServeShardEquivalence(f *testing.F) {
+	f.Add(uint64(2), uint8(40), uint8(30), uint8(3), uint8(2))
+	f.Add(uint64(11), uint8(60), uint8(15), uint8(7), uint8(4))
+	f.Add(uint64(31), uint8(25), uint8(60), uint8(2), uint8(1))
+	f.Add(uint64(77), uint8(50), uint8(20), uint8(5), uint8(3))
+
+	f.Fuzz(func(t *testing.T, seed uint64, arrivals, life, shards, workers uint8) {
+		horizon := 120 * sim.Second
+		tr, err := Generate(GenConfig{
+			Seed:         seed,
+			Arrivals:     5 + int(arrivals%56),
+			Horizon:      horizon,
+			MeanLifetime: sim.Time(10+int(life)%80) * sim.Second,
+			BaseActivity: 0.6,
+			SegmentLen:   30 * sim.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := func(s, w int) Config {
+			return Config{
+				Machines:         testMachines(4, 2),
+				UsePAS:           true,
+				Policy:           NewBestFit(),
+				ReportEvery:      15 * sim.Second,
+				ConsolidateEvery: 15 * sim.Second,
+				Shards:           s,
+				Workers:          w,
+				Seed:             seed,
+				Serving:          ServingConfig{Enabled: true},
+			}
+		}
+		run := func(s, w int) *Report {
+			fl, err := New(cfg(s, w), tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := fl.Run(horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rep
+		}
+		want := run(1, 1)
+		got := run(1+int(shards)%7, 1+int(workers)%4)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d workers=%d: serving report differs from 1x1:\n%+v\nvs\n%+v",
+				1+int(shards)%7, 1+int(workers)%4, got.Summary, want.Summary)
+		}
+	})
+}

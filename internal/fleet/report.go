@@ -37,6 +37,14 @@ type Interval struct {
 	AttainedWork float64 `json:"attained_work"`
 	// SLA is AttainedWork/DemandedWork (1 when nothing was demanded).
 	SLA float64 `json:"sla"`
+	// Requests counts the requests served during the interval, and
+	// ReqP50Ms/ReqP95Ms/ReqP99Ms are the interval's reply-latency
+	// percentiles in milliseconds from the fleet-wide merged histogram.
+	// All zero unless Config.Serving is enabled.
+	Requests int64   `json:"requests,omitempty"`
+	ReqP50Ms float64 `json:"req_p50_ms,omitempty"`
+	ReqP95Ms float64 `json:"req_p95_ms,omitempty"`
+	ReqP99Ms float64 `json:"req_p99_ms,omitempty"`
 }
 
 // VMOutcome is one VM's final SLA record.
@@ -51,6 +59,14 @@ type VMOutcome struct {
 	DemandedWork float64 `json:"demanded_work"`
 	AttainedWork float64 `json:"attained_work"`
 	SLA          float64 `json:"sla"`
+	// ReqOffered/ReqCompleted count the VM's serving requests, and
+	// ReqMeanMs/ReqMaxMs summarize its reply latencies in milliseconds
+	// (exact, not histogram-quantized). All zero unless Config.Serving
+	// is enabled.
+	ReqOffered   int64   `json:"req_offered,omitempty"`
+	ReqCompleted int64   `json:"req_completed,omitempty"`
+	ReqMeanMs    float64 `json:"req_mean_ms,omitempty"`
+	ReqMaxMs     float64 `json:"req_max_ms,omitempty"`
 }
 
 // Summary is the cluster-level outcome of one fleet run.
@@ -79,11 +95,44 @@ type Summary struct {
 	MinVMSLA   float64 `json:"min_vm_sla"`
 	VMsBelow95 int     `json:"vms_below_95pct"`
 
+	// Serving totals (zero unless Config.Serving is enabled): every
+	// offered request either completed, was abandoned when its VM
+	// departed, or was still queued or in service at the horizon —
+	// RequestsOffered == RequestsCompleted + RequestsAbandoned +
+	// RequestsInFlight.
+	RequestsOffered   int64 `json:"requests_offered,omitempty"`
+	RequestsCompleted int64 `json:"requests_completed,omitempty"`
+	RequestsAbandoned int64 `json:"requests_abandoned,omitempty"`
+	RequestsInFlight  int64 `json:"requests_in_flight,omitempty"`
+	// Fleet-wide reply-latency summary in milliseconds: histogram
+	// percentiles (relative quantization error <= 1/32 above 64 us) and
+	// the exact mean and maximum.
+	ReqP50Ms  float64 `json:"req_p50_ms,omitempty"`
+	ReqP95Ms  float64 `json:"req_p95_ms,omitempty"`
+	ReqP99Ms  float64 `json:"req_p99_ms,omitempty"`
+	ReqMeanMs float64 `json:"req_mean_ms,omitempty"`
+	ReqMaxMs  float64 `json:"req_max_ms,omitempty"`
+	// ClassLatency breaks the latency summary down per VM class, sorted
+	// by class name; classes that served nothing are omitted.
+	ClassLatency []ClassLatency `json:"class_latency,omitempty"`
+
 	// BatchedQuanta and SteppedQuanta aggregate the engines'
 	// introspection across machines: how much of the run the
 	// event-horizon fast path covered.
 	BatchedQuanta int64 `json:"batched_quanta"`
 	SteppedQuanta int64 `json:"stepped_quanta"`
+}
+
+// ClassLatency is one VM class's reply-latency summary (milliseconds),
+// from the exact per-class histogram reduction.
+type ClassLatency struct {
+	Class    string  `json:"class"`
+	Requests int64   `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+	MaxMs    float64 `json:"max_ms"`
 }
 
 // Report is the full outcome: the summary, the per-interval curves and
@@ -105,6 +154,10 @@ func (r *Report) IntervalSeries() []*metrics.Series {
 	sla := metrics.NewSeries("sla")
 	migr := metrics.NewSeries("migrations")
 	rej := metrics.NewSeries("rejected")
+	reqs := metrics.NewSeries("requests")
+	p50 := metrics.NewSeries("req_p50_ms")
+	p95 := metrics.NewSeries("req_p95_ms")
+	p99 := metrics.NewSeries("req_p99_ms")
 	for _, iv := range r.Intervals {
 		joules.Add(iv.TimeS, iv.Joules)
 		power.Add(iv.TimeS, iv.AvgPowerW)
@@ -113,8 +166,12 @@ func (r *Report) IntervalSeries() []*metrics.Series {
 		sla.Add(iv.TimeS, iv.SLA)
 		migr.Add(iv.TimeS, float64(iv.Migrations))
 		rej.Add(iv.TimeS, float64(iv.Rejected))
+		reqs.Add(iv.TimeS, float64(iv.Requests))
+		p50.Add(iv.TimeS, iv.ReqP50Ms)
+		p95.Add(iv.TimeS, iv.ReqP95Ms)
+		p99.Add(iv.TimeS, iv.ReqP99Ms)
 	}
-	return []*metrics.Series{joules, power, active, live, sla, migr, rej}
+	return []*metrics.Series{joules, power, active, live, sla, migr, rej, reqs, p50, p95, p99}
 }
 
 // WriteCSV writes the interval curves as CSV with a shared time column.
@@ -140,32 +197,39 @@ func (r *Report) WriteJSON(w io.Writer) error {
 // the in-memory Report is itself a Sink, and Config.DiscardReport drops
 // it entirely for million-machine runs. Sink methods are called from the
 // coordinator only — implementations need no locking.
+//
+// Ownership: the pointed-to records belong to the fleet and are reused
+// after the call returns — outcome slots recycle through a pool, the
+// interval accumulator is reset in place. Arguments are therefore only
+// valid for the duration of the call; a sink that retains anything must
+// copy it, as the buffering Report does.
 type Sink interface {
-	Interval(iv Interval) error
-	Outcome(o VMOutcome) error
-	Finish(s Summary) error
+	Interval(iv *Interval) error
+	Outcome(o *VMOutcome) error
+	Finish(s *Summary) error
 }
 
-// Interval implements Sink by buffering the sample.
-func (r *Report) Interval(iv Interval) error {
-	r.Intervals = append(r.Intervals, iv)
+// Interval implements Sink by buffering a copy of the sample (the
+// argument is fleet-owned; see the Sink ownership contract).
+func (r *Report) Interval(iv *Interval) error {
+	r.Intervals = append(r.Intervals, *iv)
 	return nil
 }
 
-// Outcome implements Sink by buffering the record.
-func (r *Report) Outcome(o VMOutcome) error {
-	r.PerVM = append(r.PerVM, o)
+// Outcome implements Sink by buffering a copy of the record.
+func (r *Report) Outcome(o *VMOutcome) error {
+	r.PerVM = append(r.PerVM, *o)
 	return nil
 }
 
 // Finish implements Sink by storing the summary.
-func (r *Report) Finish(s Summary) error {
-	r.Summary = s
+func (r *Report) Finish(s *Summary) error {
+	r.Summary = *s
 	return nil
 }
 
 // csvHeader matches the column order of Report.IntervalSeries.
-const csvHeader = "time_s,joules,avg_power_w,active_machines,live_vms,sla,migrations,rejected\n"
+const csvHeader = "time_s,joules,avg_power_w,active_machines,live_vms,sla,migrations,rejected,requests,req_p50_ms,req_p95_ms,req_p99_ms\n"
 
 // CSVSink streams the interval curves as CSV rows, one per reporting
 // barrier, byte-identical to Report.WriteCSV on the buffered report. It
@@ -192,7 +256,7 @@ func (s *CSVSink) writeHeader() error {
 }
 
 // Interval implements Sink.
-func (s *CSVSink) Interval(iv Interval) error {
+func (s *CSVSink) Interval(iv *Interval) error {
 	if err := s.writeHeader(); err != nil {
 		return err
 	}
@@ -203,6 +267,7 @@ func (s *CSVSink) Interval(iv Interval) error {
 		iv.TimeS, iv.Joules, iv.AvgPowerW,
 		float64(iv.ActiveMachines), float64(iv.LiveVMs),
 		iv.SLA, float64(iv.Migrations), float64(iv.Rejected),
+		float64(iv.Requests), iv.ReqP50Ms, iv.ReqP95Ms, iv.ReqP99Ms,
 	} {
 		if i > 0 {
 			row = append(row, ',')
@@ -216,11 +281,11 @@ func (s *CSVSink) Interval(iv Interval) error {
 }
 
 // Outcome implements Sink.
-func (s *CSVSink) Outcome(VMOutcome) error { return nil }
+func (s *CSVSink) Outcome(*VMOutcome) error { return nil }
 
 // Finish implements Sink: it writes the header even for a run with no
 // intervals (as Report.WriteCSV does) and flushes.
-func (s *CSVSink) Finish(Summary) error {
+func (s *CSVSink) Finish(*Summary) error {
 	if err := s.writeHeader(); err != nil {
 		return err
 	}
@@ -249,19 +314,23 @@ type JSONLRecord struct {
 	Summary  *Summary   `json:"summary,omitempty"`
 }
 
-// Interval implements Sink.
-func (s *JSONLSink) Interval(iv Interval) error {
-	return s.enc.Encode(JSONLRecord{Interval: &iv})
+// Interval implements Sink. The argument is copied into a sink-owned
+// record before encoding (the fleet reuses it after the call).
+func (s *JSONLSink) Interval(iv *Interval) error {
+	rec := *iv
+	return s.enc.Encode(JSONLRecord{Interval: &rec})
 }
 
 // Outcome implements Sink.
-func (s *JSONLSink) Outcome(o VMOutcome) error {
-	return s.enc.Encode(JSONLRecord{VM: &o})
+func (s *JSONLSink) Outcome(o *VMOutcome) error {
+	rec := *o
+	return s.enc.Encode(JSONLRecord{VM: &rec})
 }
 
 // Finish implements Sink.
-func (s *JSONLSink) Finish(sum Summary) error {
-	if err := s.enc.Encode(JSONLRecord{Summary: &sum}); err != nil {
+func (s *JSONLSink) Finish(sum *Summary) error {
+	rec := *sum
+	if err := s.enc.Encode(JSONLRecord{Summary: &rec}); err != nil {
 		return err
 	}
 	return s.w.Flush()

@@ -6,6 +6,7 @@ import (
 
 	"pasched/internal/energy"
 	"pasched/internal/host"
+	"pasched/internal/serve"
 	"pasched/internal/sim"
 	"pasched/internal/vm"
 	"pasched/internal/workload"
@@ -24,6 +25,13 @@ type dataVM struct {
 	phases        []workload.Phase
 	guest         *vm.VM
 	wl            *workload.WebApp
+	// serving state (Config.Serving only): the VM's class index into the
+	// shard latency histograms, the client-stream seed (assigned in
+	// coordinator order like seed above), and the server itself, which
+	// migrates with the dataVM.
+	class     int32
+	serveSeed uint64
+	srv       *serve.Server
 	// prevDemanded/prevAttained are the portions already folded into the
 	// owning shard's interval partials.
 	prevDemanded sim.Work
@@ -176,6 +184,17 @@ type shard struct {
 	ivDemanded sim.Work
 	ivAttained sim.Work
 
+	// serving partials and counters (Config.Serving only): lat holds the
+	// per-class interval latency histograms, merged and reset by the
+	// coordinator at barriers exactly like the work partials above; the
+	// counters accumulate at VM departure and horizon record and are
+	// read by the coordinator only after the final join.
+	lat           []serve.Histogram
+	servOffered   int64
+	servCompleted int64
+	servAbandoned int64
+	servInFlight  int64
+
 	err      error
 	poisoned bool // err came from a peer's failure, not this shard
 
@@ -314,6 +333,21 @@ func (s *shard) execAddVM(c *command) {
 		s.fail(fmt.Errorf("fleet: VM %s workload: %w", d.name, err))
 		return
 	}
+	if s.f.cfg.Serving.Enabled {
+		srv, err := serve.New(serve.Config{
+			Slots:         s.f.cfg.Serving.Slots,
+			RequestCost:   s.f.cfg.Serving.RequestCost,
+			Phases:        d.phases,
+			Deterministic: d.deterministic,
+			Seed:          d.serveSeed,
+			Start:         c.at,
+		})
+		if err != nil {
+			s.fail(fmt.Errorf("fleet: VM %s serving: %w", d.name, err))
+			return
+		}
+		d.srv = srv
+	}
 	guest, err := vm.New(s.nextID[c.slot], vm.Config{Name: d.name, Credit: d.credit})
 	if err != nil {
 		s.fail(fmt.Errorf("fleet: VM %s: %w", d.name, err))
@@ -356,6 +390,14 @@ func (s *shard) detach(slot int32, d *dataVM, op string) error {
 func (s *shard) fold(slot int32, d *dataVM) (demanded, attained sim.Work) {
 	d.wl.Tick(s.hosts[slot].Now())
 	dem, att := d.demanded(), d.wl.CompletedWork()
+	if d.srv != nil {
+		// The server advances on the interval's exact attained-work
+		// ledger. Folds happen at the same (VM, time) points for every
+		// shard and worker count — barriers and departures, dispatched at
+		// coordinator times — so the served latencies are
+		// sharding-invariant too.
+		d.srv.Advance(s.hosts[slot].Now(), att-d.prevAttained, &s.lat[d.class])
+	}
 	s.ivDemanded += dem - d.prevDemanded
 	s.ivAttained += att - d.prevAttained
 	d.prevDemanded, d.prevAttained = dem, att
@@ -376,7 +418,32 @@ func (s *shard) execRemoveVM(c *command) {
 	c.out.DemandedWork = dem.Units()
 	c.out.AttainedWork = att.Units()
 	c.out.SLA = slaOf(att, dem)
+	s.takeServing(d, c.out, false)
 	s.f.putDataVM(d)
+}
+
+// takeServing moves a VM's serving tallies into its outcome slot and
+// the shard counters. A departing VM's unserved requests are abandoned
+// (its clients leave with it); a VM recorded live at the horizon keeps
+// them in flight.
+func (s *shard) takeServing(d *dataVM, out *VMOutcome, live bool) {
+	if d.srv == nil {
+		return
+	}
+	off, comp := d.srv.Offered(), d.srv.Completed()
+	out.ReqOffered = off
+	out.ReqCompleted = comp
+	if comp > 0 {
+		out.ReqMeanMs = float64(d.srv.SumLatencyUs()) / float64(comp) / 1e3
+		out.ReqMaxMs = float64(d.srv.MaxLatencyUs()) / 1e3
+	}
+	s.servOffered += off
+	s.servCompleted += comp
+	if live {
+		s.servInFlight += off - comp
+	} else {
+		s.servAbandoned += off - comp
+	}
 }
 
 func (s *shard) execMigrateOut(c *command) {
@@ -447,6 +514,10 @@ func (s *shard) execRecordLive(c *command) {
 	c.out.DemandedWork = dem.Units()
 	c.out.AttainedWork = att.Units()
 	c.out.SLA = slaOf(att, dem)
+	// The final barrier (reportBarrier at the horizon, which precedes
+	// every cmdRecordLive) already advanced the server to the horizon,
+	// so the counters below are final.
+	s.takeServing(d, c.out, true)
 }
 
 // execBarrier catches every powered-on machine of the shard up to t,

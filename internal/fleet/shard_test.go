@@ -36,6 +36,9 @@ func churnConfig(shards, workers int, seed uint64) Config {
 		Shards:           shards,
 		Workers:          workers,
 		Seed:             seed,
+		// Serving on: the shard-equivalence checks below then also prove
+		// the latency percentiles are bit-exact across shardings.
+		Serving: ServingConfig{Enabled: true},
 	}
 }
 
@@ -172,7 +175,7 @@ type guardSink struct {
 	checked bool
 }
 
-func (g *guardSink) Interval(Interval) error {
+func (g *guardSink) Interval(*Interval) error {
 	if g.checked {
 		return nil
 	}
@@ -186,8 +189,8 @@ func (g *guardSink) Interval(Interval) error {
 	return nil
 }
 
-func (g *guardSink) Outcome(VMOutcome) error { return nil }
-func (g *guardSink) Finish(Summary) error    { return nil }
+func (g *guardSink) Outcome(*VMOutcome) error { return nil }
+func (g *guardSink) Finish(*Summary) error    { return nil }
 
 // TestFleetAccessorGuards: Host and BatchedQuanta refuse to touch
 // worker-owned hosts during Run and work normally after, including on
@@ -229,9 +232,9 @@ func TestFleetAccessorGuards(t *testing.T) {
 // run cleanly (workers torn down, error propagated).
 type failSink struct{ err error }
 
-func (s *failSink) Interval(Interval) error { return s.err }
-func (s *failSink) Outcome(VMOutcome) error { return nil }
-func (s *failSink) Finish(Summary) error    { return nil }
+func (s *failSink) Interval(*Interval) error { return s.err }
+func (s *failSink) Outcome(*VMOutcome) error { return nil }
+func (s *failSink) Finish(*Summary) error    { return nil }
 
 func TestFleetSinkErrorAbortsRun(t *testing.T) {
 	tr := genTrace(t, GenConfig{Seed: 5, Arrivals: 20, Horizon: 60 * sim.Second})

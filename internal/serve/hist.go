@@ -1,0 +1,136 @@
+// Package serve is the request-level serving model layered on the
+// fleet's VMs: per-VM client populations generate seeded open-loop
+// request streams (the same renewal-chain process that drives the CPU
+// demand), per-VM service slots drain FIFO queues, and reply latencies
+// derive from the VM's attained work rate — so a capped or down-clocked
+// VM serves slower, connecting credit enforcement directly to
+// user-visible tail latency.
+//
+// All quantities are exact integers (microsecond times, milli-work-unit
+// service demands), and latencies accumulate into fixed-ladder
+// histograms whose merge is an elementwise sum — commutative and
+// associative — so machine → shard → fleet reductions are
+// order-independent and fleet reports are bit-identical for every shard
+// and worker count.
+package serve
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Histogram bucket ladder: values below 2*histSub microseconds get an
+// exact bucket each; above, every power-of-two octave splits into
+// histSub sub-buckets, bounding the relative quantization error by
+// 1/histSub (~3.1%). The ladder is fixed — every histogram uses the
+// same buckets — so Merge is an elementwise sum.
+const (
+	histSub     = 32                   // sub-buckets per octave (power of two)
+	histSubBits = 5                    // log2(histSub)
+	histExact   = 2 * histSub          // values < histExact are exact
+	histOctaves = 63 - histSubBits - 1 // octaves above the exact region
+	// NumBuckets is the total bucket count; the ladder covers every
+	// non-negative int64 microsecond value.
+	NumBuckets = histExact + histOctaves*histSub
+)
+
+// Histogram is a fixed-ladder streaming histogram of non-negative
+// integer-microsecond latencies. The zero value is an empty histogram,
+// ready to use. Merging histograms is an elementwise integer sum, so
+// any merge order produces identical state.
+type Histogram struct {
+	counts [NumBuckets]int64
+	count  int64
+	sum    int64 // exact sum of recorded values, for the mean
+	max    int64
+}
+
+// bucketOf maps a microsecond value to its bucket index.
+func bucketOf(us int64) int {
+	if us < 0 {
+		us = 0
+	}
+	if us < histExact {
+		return int(us)
+	}
+	o := bits.Len64(uint64(us)) - 1 // floor(log2), >= histSubBits+1
+	return histExact + (o-histSubBits-1)*histSub + int((us-int64(1)<<o)>>(o-histSubBits))
+}
+
+// BucketUpper returns the inclusive upper bound of bucket b — the value
+// Quantile reports for ranks landing in it.
+func BucketUpper(b int) int64 {
+	if b < histExact {
+		return int64(b)
+	}
+	o := histSubBits + 1 + (b-histExact)/histSub
+	j := int64((b - histExact) % histSub)
+	return int64(1)<<o + (j+1)<<(o-histSubBits) - 1
+}
+
+// Record adds one latency observation in integer microseconds.
+// Negative values clamp to zero.
+func (h *Histogram) Record(us int64) {
+	if us < 0 {
+		us = 0
+	}
+	h.counts[bucketOf(us)]++
+	h.count++
+	h.sum += us
+	if us > h.max {
+		h.max = us
+	}
+}
+
+// Merge folds o into h: an elementwise integer sum, so merges commute
+// and associate and any reduction order yields identical state.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		if c != 0 {
+			h.counts[i] += c
+		}
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Reset empties the histogram.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the exact sum of recorded values in microseconds.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Max returns the exact maximum recorded value in microseconds.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile returns the q-quantile in microseconds: the inclusive upper
+// bound of the bucket holding the observation of rank ceil(q*count)
+// (rank clamps to [1, count]). Values below histExact microseconds are
+// exact; above, the bound overstates by at most 1/histSub. An empty
+// histogram reports 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum int64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return BucketUpper(b)
+		}
+	}
+	return h.max // unreachable: counts sum to count
+}

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"pasched/internal/sim"
+)
+
+// ArrivalProcess is a seeded open-loop request arrival stream over a
+// phase profile: within each phase arrivals form a Poisson process at
+// the phase's rate (or a fixed-gap stream in deterministic mode), and
+// the process is silent outside all phases.
+//
+// The process is a per-phase renewal chain driven by an explicit
+// cursor: the next arrival is always drawn from the previous arrival
+// (or the phase boundary the chain last crossed), and a draw that lands
+// beyond its own phase's end is dropped at draw time, with the chain
+// restarting at the boundary under the next phase's rate. The stream
+// therefore depends only on the phases and the seed — never on when or
+// how often it is observed — which is what lets the simulation engine
+// batch straight through it and keeps every consumer (WebApp's demand
+// queue, the fleet's serving-layer client populations) bit-identical
+// across execution schedules.
+type ArrivalProcess struct {
+	phases        []Phase
+	deterministic bool
+	rng           *sim.RNG
+	procT         sim.Time // renewal cursor: last arrival or crossed boundary
+	nextArr       sim.Time
+	haveNext      bool
+	exhausted     bool // no positive-rate phase remains past procT
+}
+
+// ValidatePhases checks a phase profile: phases must be sorted by start
+// time, non-overlapping, each with End > Start and a non-negative rate.
+func ValidatePhases(phases []Phase) error {
+	if !sort.SliceIsSorted(phases, func(i, j int) bool {
+		return phases[i].Start < phases[j].Start
+	}) {
+		return fmt.Errorf("workload: phases not sorted by start time")
+	}
+	for i, ph := range phases {
+		if ph.End <= ph.Start {
+			return fmt.Errorf("workload: phase %d has End <= Start", i)
+		}
+		if ph.Rate < 0 {
+			return fmt.Errorf("workload: phase %d has negative rate", i)
+		}
+		if i > 0 && ph.Start < phases[i-1].End {
+			return fmt.Errorf("workload: phase %d overlaps phase %d", i, i-1)
+		}
+	}
+	return nil
+}
+
+// NewArrivalProcess builds an arrival stream over the phase profile.
+// The chain starts at time zero; phases use absolute simulated time.
+func NewArrivalProcess(phases []Phase, deterministic bool, seed uint64) (*ArrivalProcess, error) {
+	if err := ValidatePhases(phases); err != nil {
+		return nil, err
+	}
+	p := &ArrivalProcess{
+		phases:        phases,
+		deterministic: deterministic,
+		rng:           sim.NewRNG(seed),
+	}
+	p.advance()
+	return p, nil
+}
+
+// Peek returns the next arrival time without consuming it. ok is false
+// when the stream is exhausted (no positive-rate phase remains).
+func (p *ArrivalProcess) Peek() (sim.Time, bool) {
+	return p.nextArr, p.haveNext
+}
+
+// Pop consumes the pending arrival and advances the chain to the one
+// after it. It panics if no arrival is pending.
+func (p *ArrivalProcess) Pop() {
+	if !p.haveNext {
+		panic("workload: ArrivalProcess.Pop without a pending arrival")
+	}
+	p.procT = p.nextArr
+	p.haveNext = false
+	p.advance()
+}
+
+// rateAt returns the offered request rate at time t.
+func (p *ArrivalProcess) rateAt(t sim.Time) float64 {
+	for _, ph := range p.phases {
+		if t >= ph.Start && t < ph.End {
+			return ph.Rate
+		}
+	}
+	return 0
+}
+
+// advance draws from the renewal chain until an arrival lands inside its
+// own phase (or no positive-rate phase remains). Each unsuccessful draw
+// crosses a phase end and restarts the chain at that boundary, so the
+// loop makes progress through the (finite) phase list.
+func (p *ArrivalProcess) advance() {
+	for !p.haveNext && !p.exhausted {
+		rate := p.rateAt(p.procT)
+		if rate <= 0 {
+			start, ok := p.nextPositiveStart(p.procT)
+			if !ok {
+				p.exhausted = true
+				return
+			}
+			p.procT = start
+			continue
+		}
+		var gap float64 // seconds
+		if p.deterministic {
+			gap = 1 / rate
+		} else {
+			gap = p.rng.ExpFloat64() / rate
+		}
+		cand := p.procT + sim.FromSeconds(gap)
+		if cand <= p.procT {
+			cand = p.procT + 1 // at least one microsecond apart
+		}
+		if end := p.phaseEnd(p.procT); cand >= end {
+			// The draw crossed its phase end: dropped, chain restarts at
+			// the boundary.
+			p.procT = end
+			continue
+		}
+		p.nextArr = cand
+		p.haveNext = true
+	}
+}
+
+func (p *ArrivalProcess) phaseEnd(t sim.Time) sim.Time {
+	for _, ph := range p.phases {
+		if t >= ph.Start && t < ph.End {
+			return ph.End
+		}
+	}
+	return t
+}
+
+// nextPositiveStart returns the earliest positive-rate phase start
+// strictly after t.
+func (p *ArrivalProcess) nextPositiveStart(t sim.Time) (sim.Time, bool) {
+	best, ok := sim.Never, false
+	for _, ph := range p.phases {
+		if ph.Rate > 0 && ph.Start > t && ph.Start < best {
+			best, ok = ph.Start, true
+		}
+	}
+	return best, ok
+}

@@ -2,7 +2,6 @@ package workload
 
 import (
 	"fmt"
-	"sort"
 
 	"pasched/internal/sim"
 )
@@ -48,22 +47,13 @@ const DefaultRequestCost = 0.020 * 2667e6
 // substitute). Arrivals enqueue work; the VM drains the queue when
 // scheduled. The offered rate follows the configured phases.
 //
-// The arrival process is a per-phase renewal chain driven by an explicit
-// process cursor: the next arrival is always drawn from the previous
-// arrival (or the phase boundary the process last crossed), and a draw
-// that lands beyond its own phase's end is dropped at draw time, with
-// the process restarting at the boundary under the next phase's rate.
-// The chain therefore depends only on the configuration and the seed —
-// never on when Tick happens to be called — which is what lets the
-// simulation engine batch straight through it: NextChange's promise is
-// the exact next arrival.
+// Arrivals come from an ArrivalProcess — a per-phase renewal chain that
+// depends only on the configuration and the seed, never on when Tick
+// happens to be called — which is what lets the simulation engine batch
+// straight through it: NextChange's promise is the exact next arrival.
 type WebApp struct {
 	cfg        WebAppConfig
-	rng        *sim.RNG
-	procT      sim.Time // renewal cursor: last arrival or crossed boundary
-	nextArr    sim.Time
-	haveNext   bool
-	exhausted  bool // no positive-rate phase remains past procT
+	arr        *ArrivalProcess
 	lastTick   sim.Time
 	queue      sim.Work
 	cost       sim.Work // per-request CPU cost, converted once at construction
@@ -84,21 +74,9 @@ func NewWebApp(cfg WebAppConfig) (*WebApp, error) {
 	if cfg.RequestCost < 0 {
 		return nil, fmt.Errorf("workload: negative request cost %v", cfg.RequestCost)
 	}
-	if !sort.SliceIsSorted(cfg.Phases, func(i, j int) bool {
-		return cfg.Phases[i].Start < cfg.Phases[j].Start
-	}) {
-		return nil, fmt.Errorf("workload: phases not sorted by start time")
-	}
-	for i, ph := range cfg.Phases {
-		if ph.End <= ph.Start {
-			return nil, fmt.Errorf("workload: phase %d has End <= Start", i)
-		}
-		if ph.Rate < 0 {
-			return nil, fmt.Errorf("workload: phase %d has negative rate", i)
-		}
-		if i > 0 && ph.Start < cfg.Phases[i-1].End {
-			return nil, fmt.Errorf("workload: phase %d overlaps phase %d", i, i-1)
-		}
+	arr, err := NewArrivalProcess(cfg.Phases, cfg.Deterministic, cfg.Seed)
+	if err != nil {
+		return nil, err
 	}
 	maxBacklog := cfg.MaxBacklog
 	switch {
@@ -107,24 +85,12 @@ func NewWebApp(cfg WebAppConfig) (*WebApp, error) {
 	case maxBacklog < 0:
 		maxBacklog = 0 // unbounded
 	}
-	w := &WebApp{
+	return &WebApp{
 		cfg:        cfg,
-		rng:        sim.NewRNG(cfg.Seed),
+		arr:        arr,
 		cost:       sim.WorkFromUnits(cfg.RequestCost),
 		maxBacklog: sim.WorkFromUnits(maxBacklog),
-	}
-	w.advance()
-	return w, nil
-}
-
-// rateAt returns the offered request rate at time t.
-func (w *WebApp) rateAt(t sim.Time) float64 {
-	for _, ph := range w.cfg.Phases {
-		if t >= ph.Start && t < ph.End {
-			return ph.Rate
-		}
-	}
-	return 0
+	}, nil
 }
 
 // Tick implements Workload: it delivers all arrivals in (lastTick, now].
@@ -132,71 +98,15 @@ func (w *WebApp) Tick(now sim.Time) {
 	if now <= w.lastTick {
 		return
 	}
-	for w.haveNext && w.nextArr <= now {
+	for {
+		at, ok := w.arr.Peek()
+		if !ok || at > now {
+			break
+		}
 		w.arrive()
-		w.procT = w.nextArr
-		w.haveNext = false
-		w.advance()
+		w.arr.Pop()
 	}
 	w.lastTick = now
-}
-
-// advance draws from the renewal chain until an arrival lands inside its
-// own phase (or no positive-rate phase remains). Each unsuccessful draw
-// crosses a phase end and restarts the chain at that boundary, so the
-// loop makes progress through the (finite) phase list.
-func (w *WebApp) advance() {
-	for !w.haveNext && !w.exhausted {
-		rate := w.rateAt(w.procT)
-		if rate <= 0 {
-			start, ok := w.nextPositiveStart(w.procT)
-			if !ok {
-				w.exhausted = true
-				return
-			}
-			w.procT = start
-			continue
-		}
-		var gap float64 // seconds
-		if w.cfg.Deterministic {
-			gap = 1 / rate
-		} else {
-			gap = w.rng.ExpFloat64() / rate
-		}
-		cand := w.procT + sim.FromSeconds(gap)
-		if cand <= w.procT {
-			cand = w.procT + 1 // at least one microsecond apart
-		}
-		if end := w.phaseEnd(w.procT); cand >= end {
-			// The draw crossed its phase end: dropped, chain restarts at
-			// the boundary.
-			w.procT = end
-			continue
-		}
-		w.nextArr = cand
-		w.haveNext = true
-	}
-}
-
-func (w *WebApp) phaseEnd(t sim.Time) sim.Time {
-	for _, ph := range w.cfg.Phases {
-		if t >= ph.Start && t < ph.End {
-			return ph.End
-		}
-	}
-	return t
-}
-
-// nextPositiveStart returns the earliest positive-rate phase start
-// strictly after t.
-func (w *WebApp) nextPositiveStart(t sim.Time) (sim.Time, bool) {
-	best, ok := sim.Never, false
-	for _, ph := range w.cfg.Phases {
-		if ph.Rate > 0 && ph.Start > t && ph.Start < best {
-			best, ok = ph.Start, true
-		}
-	}
-	return best, ok
 }
 
 func (w *WebApp) arrive() {
@@ -218,8 +128,8 @@ func (w *WebApp) Pending() sim.Work { return w.queue }
 // delivered, which the engine treats as "cannot batch" and steps through
 // the reference path that Ticks it in.
 func (w *WebApp) NextChange(sim.Time) sim.Time {
-	if w.haveNext {
-		return w.nextArr
+	if at, ok := w.arr.Peek(); ok {
+		return at
 	}
 	return sim.Never
 }
