@@ -255,6 +255,17 @@ func BenchmarkFleetRun(b *testing.B) {
 		cfg.Serving = fleet.ServingConfig{Enabled: true}
 		benchFleet(b, trace, cfg, horizon)
 	})
+	// obs repeats s1 with the flight recorder enabled (events retained in
+	// memory, no sink), gating the enabled-path overhead — per-lane ring
+	// emission on refills, state changes and P-state transitions, the
+	// attribution ledgers, and the barrier drain/merge — against the
+	// plain s1 numbers.
+	b.Run("obs", func(b *testing.B) {
+		cfg := base
+		cfg.Shards, cfg.Workers = 1, 1
+		cfg.Obs = fleet.ObsConfig{Enabled: true, Buffer: true}
+		benchFleet(b, trace, cfg, horizon)
+	})
 	b.Run("large", func(b *testing.B) {
 		const largeHorizon = 300 * sim.Second
 		largeTrace, err := fleet.Generate(fleet.GenConfig{

@@ -7,35 +7,49 @@
 // Usage:
 //
 //	pasfleet -machines 1000 -arrivals 5000 -horizon 600 -policy dvfs-aware
-//	pasfleet -trace trace.csv -sched credit -csv intervals.csv -json report.json
+//	pasfleet -vmtrace trace.csv -sched credit -csv intervals.csv -json report.json
 //	pasfleet -arrivals 200 -write-trace trace.csv
 //	pasfleet -machines 1000000 -shards 8 -stream csv:intervals.csv -no-report
 //	pasfleet -serve -report 2 -sched credit2   # request latency percentiles
+//	pasfleet -trace perfetto:run.json -status  # flight recorder + heartbeat
 //
 // -serve layers the request-level serving model on every VM: reply
 // latencies derive from each VM's attained work rate, and the report
 // grows p50/p95/p99 columns plus per-class latency summaries.
 //
+// -trace enables the flight recorder and streams every scheduler,
+// host, and fleet decision event into a Perfetto trace-event JSON file
+// (open it at https://ui.perfetto.dev). -status prints a 1 Hz run
+// heartbeat to stderr, and -metrics-addr serves the same live counters
+// as expvar JSON over HTTP while the run executes.
+//
 // Large estates run sharded (-shards, -workers) with streaming output
 // (-stream) so memory stays proportional to the live fleet, not to the
-// run's history. The report is bit-identical for every shard and worker
-// count.
+// run's history. The report — and the recorder's event stream — is
+// bit-identical for every shard and worker count.
 //
 // Exit status is non-zero on simulation errors, making the command
 // usable as a smoke gate in CI.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"pasched/internal/fleet"
 	"pasched/internal/metrics"
+	"pasched/internal/obs"
 	"pasched/internal/sim"
 )
 
@@ -61,7 +75,10 @@ func run(args []string, out, errOut io.Writer) int {
 		workers     = fs.Int("workers", 0, "concurrent shard workers (0 = GOMAXPROCS)")
 		stream      = fs.String("stream", "", "stream results incrementally: csv[:path] or jsonl[:path] (default stdout)")
 		noReport    = fs.Bool("no-report", false, "discard the in-memory report (memory stays O(machines); use with -stream)")
-		tracePath   = fs.String("trace", "", "read the VM lifecycle trace from this CSV instead of generating")
+		traceSpec   = fs.String("trace", "", "record the run with the flight recorder: perfetto[:path] (default path trace.json)")
+		status      = fs.Bool("status", false, "print a 1 Hz heartbeat (sim time, wall rate, events, live VMs, RSS) to stderr")
+		metricsAddr = fs.String("metrics-addr", "", "serve live run counters as expvar JSON on this HTTP address (e.g. localhost:6060)")
+		vmTracePath = fs.String("vmtrace", "", "read the VM lifecycle trace from this CSV instead of generating")
 		writeTrace  = fs.String("write-trace", "", "write the generated trace as CSV to this file and exit")
 		csvPath     = fs.String("csv", "", "write the interval curves as CSV to this file")
 		jsonPath    = fs.String("json", "", "write the full report as JSON to this file")
@@ -90,6 +107,11 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintf(errOut, "pasfleet: invalid stream spec %q (accepted: csv, jsonl, csv:path, jsonl:path)\n", *stream)
 		return 2
 	}
+	perfettoPath, ok := parseTraceSpec(*traceSpec)
+	if !ok {
+		fmt.Fprintf(errOut, "pasfleet: invalid trace spec %q (accepted: perfetto, perfetto:path)\n", *traceSpec)
+		return 2
+	}
 	if *noReport && *stream == "" && *csvPath == "" && *jsonPath == "" {
 		fmt.Fprintln(errOut, "pasfleet: -no-report without -stream discards every result; add -stream csv[:path] or jsonl[:path]")
 		return 2
@@ -97,6 +119,19 @@ func run(args []string, out, errOut io.Writer) int {
 	if *noReport && (*csvPath != "" || *jsonPath != "") {
 		fmt.Fprintln(errOut, "pasfleet: -no-report conflicts with -csv/-json (they render the buffered report); use -stream")
 		return 2
+	}
+	// Bind the metrics listener before any construction: a bad or busy
+	// address is a flag error, reported with exit 2 like the rest.
+	var metricsLn net.Listener
+	if *metricsAddr != "" {
+		var err error
+		metricsLn, err = net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(errOut, "pasfleet: invalid metrics address %q: %v (accepted: host:port, e.g. localhost:6060 or :0)\n",
+				*metricsAddr, err)
+			return 2
+		}
+		defer metricsLn.Close()
 	}
 
 	if *cpuProfile != "" {
@@ -132,8 +167,8 @@ func run(args []string, out, errOut io.Writer) int {
 
 	var tr *fleet.Trace
 	var err error
-	if *tracePath != "" {
-		f, ferr := os.Open(*tracePath)
+	if *vmTracePath != "" {
+		f, ferr := os.Open(*vmTracePath)
 		if ferr != nil {
 			fmt.Fprintln(errOut, ferr)
 			return 1
@@ -187,6 +222,18 @@ func run(args []string, out, errOut io.Writer) int {
 		}
 	}
 
+	var obsCfg fleet.ObsConfig
+	var traceFile *os.File
+	if perfettoPath != "" {
+		traceFile, err = os.Create(perfettoPath)
+		if err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+		defer traceFile.Close()
+		obsCfg = fleet.ObsConfig{Enabled: true, Sink: obs.NewPerfettoWriter(traceFile)}
+	}
+
 	fl, err := fleet.New(fleet.Config{
 		Machines:         fleet.DefaultEstate(*machines),
 		Scheduler:        *schedName,
@@ -199,12 +246,34 @@ func run(args []string, out, errOut io.Writer) int {
 		Sinks:            sinks,
 		DiscardReport:    *noReport,
 		Serving:          fleet.ServingConfig{Enabled: *serve, Slots: *serveSlots},
+		Obs:              obsCfg,
 	}, tr)
 	if err != nil {
 		fmt.Fprintln(errOut, err)
 		return 1
 	}
+
+	if metricsLn != nil {
+		liveFleet.Store(fl)
+		defer liveFleet.Store(nil)
+		publishMetrics()
+		mux := http.NewServeMux()
+		mux.Handle("/debug/vars", expvar.Handler())
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(metricsLn)
+		defer srv.Close()
+		fmt.Fprintf(errOut, "pasfleet: serving metrics on http://%s/debug/vars\n", metricsLn.Addr())
+	}
+	stopStatus := func() {}
+	if *status {
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go heartbeat(errOut, fl, stop, done)
+		stopStatus = func() { close(stop); <-done }
+	}
+
 	rep, err := fl.Run(sim.FromSeconds(*horizon))
+	stopStatus()
 	if err != nil {
 		fmt.Fprintln(errOut, err)
 		return 1
@@ -214,6 +283,14 @@ func run(args []string, out, errOut io.Writer) int {
 			fmt.Fprintln(errOut, err)
 			return 1
 		}
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+		fmt.Fprintf(errOut, "pasfleet: wrote Perfetto trace (%d recorder events) to %s\n",
+			rep.Summary.ObsEvents, perfettoPath)
 	}
 
 	// When streaming to stdout, keep it machine-readable: no table.
@@ -233,6 +310,83 @@ func run(args []string, out, errOut io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// liveFleet is the fleet the expvar counters read. expvar names are
+// process-global and re-publishing panics, so the published Func reads
+// through this pointer and publishMetrics registers it only once even
+// when run() executes repeatedly (tests).
+var (
+	liveFleet   atomic.Pointer[fleet.Fleet]
+	publishOnce sync.Once
+)
+
+func publishMetrics() {
+	publishOnce.Do(func() {
+		expvar.Publish("pasfleet", expvar.Func(func() any {
+			fl := liveFleet.Load()
+			if fl == nil {
+				return nil
+			}
+			simT, events, live := fl.Progress()
+			return map[string]int64{
+				"sim_us":   int64(simT),
+				"events":   events,
+				"live_vms": live,
+			}
+		}))
+	})
+}
+
+// heartbeat prints one status line per second until stop closes: how
+// far simulated time has advanced, how fast it moves against wall
+// time, the recorder event count and rate, the live VM population, and
+// the process heap footprint.
+func heartbeat(w io.Writer, fl *fleet.Fleet, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	lastWall := time.Now()
+	var lastSim sim.Time
+	var lastEvents int64
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-tick.C:
+			simT, events, live := fl.Progress()
+			wall := now.Sub(lastWall).Seconds()
+			if wall <= 0 {
+				wall = 1
+			}
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			fmt.Fprintf(w, "pasfleet: sim %.1fs (%.1fx wall)  events %d (%.0f/s)  live VMs %d  rss %d MB\n",
+				simT.Seconds(), (simT-lastSim).Seconds()/wall,
+				events, float64(events-lastEvents)/wall,
+				live, ms.HeapInuse>>20)
+			lastWall, lastSim, lastEvents = now, simT, events
+		}
+	}
+}
+
+// parseTraceSpec splits a -trace spec into the Perfetto output path.
+// Accepted: "", "perfetto", "perfetto:path".
+func parseTraceSpec(spec string) (path string, ok bool) {
+	if spec == "" {
+		return "", true
+	}
+	format, path, cut := strings.Cut(spec, ":")
+	if format != "perfetto" {
+		return "", false
+	}
+	if !cut {
+		return "trace.json", true
+	}
+	if path == "" {
+		return "", false
+	}
+	return path, true
 }
 
 // parseStream splits a -stream spec into format and optional path.
@@ -287,6 +441,13 @@ func printSummary(out io.Writer, rep *fleet.Report) {
 		tb.AddRow("reply latency p50 / p95 / p99 (ms)",
 			fmt.Sprintf("%.2f / %.2f / %.2f", s.ReqP50Ms, s.ReqP95Ms, s.ReqP99Ms))
 		tb.AddRow("reply latency mean / max (ms)", fmt.Sprintf("%.2f / %.2f", s.ReqMeanMs, s.ReqMaxMs))
+	}
+	if s.ObsEvents > 0 {
+		tb.AddRow("recorder events", fmt.Sprintf("%d", s.ObsEvents))
+		tb.AddRow("VM time run / downclocked / capped (s)", fmt.Sprintf("%.1f / %.1f / %.1f",
+			float64(s.LedgerRunUs)/1e6, float64(s.LedgerDownclockedUs)/1e6, float64(s.LedgerCappedUs)/1e6))
+		tb.AddRow("VM time contended / migrating / idle (s)", fmt.Sprintf("%.1f / %.1f / %.1f",
+			float64(s.LedgerContendedUs)/1e6, float64(s.LedgerMigratingUs)/1e6, float64(s.LedgerIdleUs)/1e6))
 	}
 	tb.AddRow("batched / stepped quanta", fmt.Sprintf("%d / %d", s.BatchedQuanta, s.SteppedQuanta))
 	fmt.Fprintln(out, tb.Render())

@@ -1,0 +1,65 @@
+// Command tracecheck validates a Perfetto trace-event JSON file as
+// produced by pasfleet -trace perfetto: the document must be valid
+// JSON with legal phases, non-negative timestamps and durations,
+// non-overlapping slices per track, and monotone counter samples.
+//
+// Usage:
+//
+//	tracecheck trace.json
+//	pasfleet -trace perfetto:- ... | tracecheck -   # read from stdin
+//
+// On success it prints the trace shape (events, slices, counters,
+// instants, tracks, end time) and exits 0; any violation is reported
+// with exit status 1, making the command usable as a CI gate on
+// recorder output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pasched/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	fs.Usage = func() {
+		fmt.Fprintln(errOut, "usage: tracecheck <trace.json | ->")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	var r io.Reader = os.Stdin
+	name := fs.Arg(0)
+	if name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintln(errOut, err)
+			return 1
+		}
+		defer f.Close()
+		r = f
+	} else {
+		name = "<stdin>"
+	}
+	st, err := obs.ValidatePerfetto(r)
+	if err != nil {
+		fmt.Fprintf(errOut, "tracecheck: %s: %v\n", name, err)
+		return 1
+	}
+	fmt.Fprintf(out, "tracecheck: %s: ok — %d events (%d slices, %d counters, %d instants) on %d VM tracks, ends at %.3f s\n",
+		name, st.Events, st.Slices, st.Counters, st.Instants, st.Tracks, float64(st.EndUs)/1e6)
+	return 0
+}

@@ -15,6 +15,7 @@ import (
 	"pasched/internal/cpufreq"
 	"pasched/internal/energy"
 	"pasched/internal/host"
+	"pasched/internal/obs"
 	"pasched/internal/sim"
 	"pasched/internal/vm"
 	"pasched/internal/workload"
@@ -275,6 +276,9 @@ type HostOptions struct {
 	// the accepted values and Schedulers for descriptions). Empty
 	// defers to usePAS.
 	Scheduler string
+	// Obs is the machine's flight-recorder lane (host.Config.Obs). Nil
+	// disables observation.
+	Obs *obs.MachineObs
 }
 
 // NewHostWithOptions is NewHost with the extra knobs of HostOptions.
@@ -304,6 +308,7 @@ func NewHostWithOptions(spec HostSpec, usePAS bool, opts HostOptions) (*host.Hos
 		Scheduler:      s,
 		Reference:      opts.Reference,
 		SampleInterval: opts.SampleEvery,
+		Obs:            opts.Obs,
 	})
 	if err != nil {
 		return nil, err

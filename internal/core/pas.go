@@ -85,6 +85,8 @@ var (
 	_ sched.BoundaryReporter = (*PAS)(nil)
 	_ sched.Batcher          = (*PAS)(nil)
 	_ sched.PatternBatcher   = (*PAS)(nil)
+	_ sched.TraceSetter      = (*PAS)(nil)
+	_ sched.Throttler        = (*PAS)(nil)
 )
 
 // NewPAS builds a PAS scheduler.
@@ -163,6 +165,15 @@ func (p *PAS) Pick(now sim.Time) *vm.VM { return p.credit.Pick(now) }
 
 // Charge implements sched.Scheduler.
 func (p *PAS) Charge(v *vm.VM, busy, now sim.Time) { p.credit.Charge(v, busy, now) }
+
+// SetTracer implements sched.TraceSetter: PAS enforces through Credit,
+// so the refill/exhaustion events come from the inner scheduler.
+func (p *PAS) SetTracer(t sched.Tracer) { p.credit.SetTracer(t) }
+
+// Throttled implements sched.Throttler by delegating to the inner
+// Credit scheduler, whose compensated caps are the enforcement in
+// effect.
+func (p *PAS) Throttled(v *vm.VM) bool { return p.credit.Throttled(v) }
 
 // Tick implements sched.Scheduler: it performs the Credit scheduler's
 // accounting, then — at every PAS interval — the DVFS and credit

@@ -11,6 +11,7 @@ import (
 	"pasched/internal/energy"
 	"pasched/internal/engine"
 	"pasched/internal/host"
+	"pasched/internal/obs"
 	"pasched/internal/serve"
 	"pasched/internal/sim"
 	"pasched/internal/vm"
@@ -122,6 +123,29 @@ type Config struct {
 	// populations, service slots and reply-latency histograms layered
 	// on the CPU simulation. See ServingConfig.
 	Serving ServingConfig
+	// Obs enables the opt-in flight recorder: a deterministic event
+	// stream across every layer plus the per-VM throttle-attribution
+	// ledger. See ObsConfig.
+	Obs ObsConfig
+}
+
+// ObsConfig configures the optional flight recorder (internal/obs).
+// When enabled, every machine host and the coordinator emit decision
+// events into per-shard rings, drained and merged into
+// (At, Lane, Seq)-sorted windows at reporting barriers; the merged
+// stream — and the per-VM integer-microsecond attribution ledgers folded
+// into VMOutcome and Summary — are bit-identical for every shard and
+// worker count. When disabled, every hook collapses to one nil check:
+// the hot path pays zero allocations (benchmark-gated).
+type ObsConfig struct {
+	// Enabled switches the recorder on.
+	Enabled bool
+	// Sink, when non-nil, receives every merged event window (e.g. a
+	// Perfetto trace writer). Requires Enabled.
+	Sink obs.EventSink
+	// Buffer retains the merged stream in memory (Fleet.ObsEvents), for
+	// tests and small runs. Requires Enabled.
+	Buffer bool
 }
 
 // ServingConfig configures the optional request-level serving layer
@@ -219,6 +243,14 @@ func (cfg Config) withDefaults() (Config, error) {
 		cfg.Scheduler, _ = consolidation.CanonicalScheduler(cfg.Scheduler)
 		if cfg.UsePAS && cfg.Scheduler != "pas" {
 			return cfg, fmt.Errorf("fleet: UsePAS conflicts with scheduler %q", cfg.Scheduler)
+		}
+	}
+	if !cfg.Obs.Enabled {
+		if cfg.Obs.Sink != nil {
+			return cfg, fmt.Errorf("fleet: Obs.Sink set without Obs.Enabled")
+		}
+		if cfg.Obs.Buffer {
+			return cfg, fmt.Errorf("fleet: Obs.Buffer set without Obs.Enabled")
 		}
 	}
 	if cfg.Serving.Enabled {
@@ -359,6 +391,20 @@ type Fleet struct {
 	workers sync.WaitGroup
 	running atomic.Bool
 
+	// flight recorder (Obs.Enabled only): the recorder owning the
+	// per-shard rings, and the coordinator's own emitting lane.
+	rec  *obs.Recorder
+	cobs *obs.MachineObs
+	// ledger totals accumulated from outcome slots in emission order;
+	// exact integers, checked against each other at finalize.
+	ledTot [7]int64 // run, downclocked, capped, contended, migrating, idle, span
+
+	// live progress counters, updated at reporting barriers and read by
+	// Progress from other goroutines (the pasfleet status heartbeat).
+	progSimUs  atomic.Int64
+	progEvents atomic.Int64
+	progLive   atomic.Int64
+
 	// control-plane per-machine scan state, struct-of-arrays: states is
 	// the persistent policy view updated in place (never rebuilt), the
 	// int32/bool arrays are what the coordinator scans every barrier.
@@ -464,7 +510,7 @@ func New(cfg Config, trace *Trace) (*Fleet, error) {
 		}
 		// Probe one host per class so construction errors still surface
 		// at New time, as they did when every host was built eagerly.
-		if _, err := newMachineHost(spec, cfg); err != nil {
+		if _, err := newMachineHost(spec, cfg, nil); err != nil {
 			return nil, fmt.Errorf("fleet: machine class %s: %w", mc.Name, err)
 		}
 		f.specs[ci] = spec
@@ -511,6 +557,10 @@ func New(cfg Config, trace *Trace) (*Fleet, error) {
 	ns := cfg.Shards
 	f.gate = engine.NewGate(cfg.Workers)
 	f.inline = ns == 1 || cfg.Workers == 1
+	if cfg.Obs.Enabled {
+		f.rec = obs.NewRecorder(ns, cfg.Obs.Sink, cfg.Obs.Buffer)
+		f.cobs = obs.NewMachineObs(f.rec.CoordinatorRing(), obs.LaneCoordinator)
+	}
 	f.shards = make([]*shard, ns)
 	for si := 0; si < ns; si++ {
 		n := (total - si + ns - 1) / ns // machines with index ≡ si (mod ns)
@@ -527,6 +577,10 @@ func New(cfg Config, trace *Trace) (*Fleet, error) {
 		if cfg.Serving.Enabled {
 			s.lat = make([]serve.Histogram, len(f.classNames))
 		}
+		if cfg.Obs.Enabled {
+			s.mobs = make([]*obs.MachineObs, n)
+			s.prevBounds = make([][boundarySources]int64, n)
+		}
 		for slot := range s.nextID {
 			s.nextID[slot] = 1
 		}
@@ -539,12 +593,14 @@ func New(cfg Config, trace *Trace) (*Fleet, error) {
 // newMachineHost builds one machine host. Fleet machines sample their
 // recorders at the fleet's reporting cadence — at thousands of machines
 // the default 1 s sampling would dominate memory for data the fleet
-// never reads (it reports its own interval curves).
-func newMachineHost(spec consolidation.HostSpec, cfg Config) (*host.Host, error) {
+// never reads (it reports its own interval curves). mo is the machine's
+// flight-recorder lane; nil disables observation for this host.
+func newMachineHost(spec consolidation.HostSpec, cfg Config, mo *obs.MachineObs) (*host.Host, error) {
 	return consolidation.NewHostWithOptions(spec, cfg.UsePAS, consolidation.HostOptions{
 		Reference:   cfg.Reference,
 		SampleEvery: cfg.ReportEvery,
 		Scheduler:   cfg.Scheduler,
+		Obs:         mo,
 	})
 }
 
@@ -592,13 +648,32 @@ func (f *Fleet) Host(i int) (*host.Host, error) {
 	s := f.shards[i%len(f.shards)]
 	slot := i / len(f.shards)
 	if s.hosts[slot] == nil {
-		h, err := newMachineHost(f.specs[f.classOf[i]], f.cfg)
+		h, err := newMachineHost(f.specs[f.classOf[i]], f.cfg, nil)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: machine %d: %w", i, err)
 		}
 		s.hosts[slot] = h
 	}
 	return s.hosts[slot], nil
+}
+
+// ObsEvents returns the retained merged event stream, nil unless the
+// fleet was built with Obs.Enabled and Obs.Buffer. Call it only after
+// Run returns.
+func (f *Fleet) ObsEvents() []obs.Event {
+	if f.rec == nil {
+		return nil
+	}
+	return f.rec.Events()
+}
+
+// Progress reports the run's live progress — simulated time reached,
+// flight-recorder events drained, and resident VMs — as of the most
+// recent reporting barrier. Unlike every other accessor it is safe to
+// call from other goroutines while Run executes: it backs the pasfleet
+// status heartbeat.
+func (f *Fleet) Progress() (simTime sim.Time, events int64, liveVMs int64) {
+	return sim.Time(f.progSimUs.Load()), f.progEvents.Load(), f.progLive.Load()
 }
 
 // pools ---------------------------------------------------------------
@@ -901,6 +976,9 @@ func (f *Fleet) powerOn(idx int) error {
 	st.On = true
 	f.everOn[idx] = true
 	f.poweredOn++
+	if f.cobs != nil {
+		f.cobs.Emit(f.now, obs.KindPowerOn, "", int64(idx), 0)
+	}
 	return f.dispatch(idx, command{kind: cmdPowerOn, at: f.now})
 }
 
@@ -919,6 +997,9 @@ func (f *Fleet) arrive(ev *VMEvent) error {
 	if !ok {
 		f.rejected++
 		f.iv.Rejected++
+		if f.cobs != nil {
+			f.cobs.Emit(f.now, obs.KindReject, ev.Name, 0, 0)
+		}
 		return nil
 	}
 	if err := f.checkPlacement(idx, req, false); err != nil {
@@ -926,6 +1007,9 @@ func (f *Fleet) arrive(ev *VMEvent) error {
 	}
 	if err := f.powerOn(idx); err != nil {
 		return err
+	}
+	if f.cobs != nil {
+		f.cobs.Emit(f.now, obs.KindPlace, ev.Name, int64(idx), 0)
 	}
 
 	d := f.getDataVM()
@@ -1130,6 +1214,15 @@ func (f *Fleet) consolidate() error {
 		mv.p.mig = mg
 		f.migs[mg.name] = mg
 		f.migQ.push(timedName{at: mg.done, name: mg.name})
+		if f.cobs != nil {
+			f.cobs.Emit(f.now, obs.KindMigStart, mg.name, int64(victim), int64(mv.to))
+			// Mark the pre-copy on the source's ledger at the plan
+			// instant: non-executing time from here until the VM lands on
+			// the destination attributes to MigratingUs.
+			if err := f.dispatch(victim, command{kind: cmdObsMigMark, at: f.now, d: mv.p.d}); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -1181,6 +1274,9 @@ func (f *Fleet) completeMigration(name string) error {
 	p.mig = nil
 	f.migrated++
 	f.iv.Migrations++
+	if f.cobs != nil {
+		f.cobs.Emit(f.now, obs.KindMigDone, mg.name, int64(mg.to), 0)
+	}
 	return nil
 }
 
@@ -1196,6 +1292,15 @@ func (f *Fleet) flushOutcomes() error {
 		}
 		if o.SLA < 0.95 {
 			f.below95++
+		}
+		if f.rec != nil {
+			f.ledTot[0] += o.RunUs
+			f.ledTot[1] += o.DownclockedUs
+			f.ledTot[2] += o.CappedUs
+			f.ledTot[3] += o.ContendedUs
+			f.ledTot[4] += o.MigratingUs
+			f.ledTot[5] += o.IdleUs
+			f.ledTot[6] += o.LifetimeUs
 		}
 		for _, sink := range f.sinks {
 			if err := sink.Outcome(o); err != nil {
@@ -1256,6 +1361,9 @@ func (f *Fleet) reportBarrier(t sim.Time) error {
 			f.iv.ReqP50Ms = float64(f.ivLat.Quantile(0.50)) / 1e3
 			f.iv.ReqP95Ms = float64(f.ivLat.Quantile(0.95)) / 1e3
 			f.iv.ReqP99Ms = float64(f.ivLat.Quantile(0.99)) / 1e3
+			if f.cobs != nil {
+				f.cobs.Emit(t, obs.KindLatency, "", f.ivLat.Quantile(0.50), f.ivLat.Quantile(0.99))
+			}
 		}
 		f.ivLat.Reset()
 	}
@@ -1286,11 +1394,26 @@ func (f *Fleet) reportBarrier(t sim.Time) error {
 		if f.states[i].On && f.vmCount[i] == 0 && f.inbound[i] == 0 {
 			f.states[i].On = false
 			f.poweredOff++
+			if f.cobs != nil {
+				f.cobs.Emit(t, obs.KindPowerOff, "", int64(i), 0)
+			}
 			if err := f.dispatch(i, command{kind: cmdPowerOff, at: t}); err != nil {
 				return err
 			}
 		}
 	}
+	if f.rec != nil {
+		// Every shard is parked at the barrier and every machine event up
+		// to t is in its ring; fold the coordinator's own barrier marker
+		// in, then merge the window.
+		f.cobs.Emit(t, obs.KindBarrier, "", int64(len(live)), 0)
+		if err := f.rec.Drain(); err != nil {
+			return err
+		}
+		f.progEvents.Store(f.rec.Total())
+	}
+	f.progSimUs.Store(int64(t))
+	f.progLive.Store(int64(len(live)))
 	return nil
 }
 
@@ -1314,6 +1437,12 @@ func (f *Fleet) finalize() error {
 	}
 	if err := f.flushOutcomes(); err != nil {
 		return err
+	}
+	if f.rec != nil {
+		if err := f.rec.Finish(f.horizon); err != nil {
+			return err
+		}
+		f.progEvents.Store(f.rec.Total())
 	}
 
 	sched := f.cfg.Scheduler
@@ -1359,6 +1488,24 @@ func (f *Fleet) finalize() error {
 		s.MeanVMSLA = f.sumVMSLA / float64(f.nOut)
 	} else {
 		s.MeanVMSLA = 1
+	}
+	if f.rec != nil {
+		s.ObsEvents = f.rec.Total()
+		s.LedgerRunUs = f.ledTot[0]
+		s.LedgerDownclockedUs = f.ledTot[1]
+		s.LedgerCappedUs = f.ledTot[2]
+		s.LedgerContendedUs = f.ledTot[3]
+		s.LedgerMigratingUs = f.ledTot[4]
+		s.LedgerIdleUs = f.ledTot[5]
+		s.LedgerSpanUs = f.ledTot[6]
+		// Each VM's ledger was conservation-checked at its detach; the
+		// totals are sums of those, so a mismatch here means the emission
+		// path itself leaked — the same class of guard as the serving
+		// request conservation below.
+		sum := f.ledTot[0] + f.ledTot[1] + f.ledTot[2] + f.ledTot[3] + f.ledTot[4] + f.ledTot[5]
+		if sum != f.ledTot[6] {
+			return fmt.Errorf("fleet: attribution ledger mismatch: %d us attributed, %d us of VM residency", sum, f.ledTot[6])
+		}
 	}
 	if f.cfg.Serving.Enabled {
 		for _, sh := range f.shards {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"pasched/internal/obs"
 	"pasched/internal/sim"
 )
 
@@ -168,6 +169,69 @@ func FuzzServeShardEquivalence(f *testing.F) {
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("shards=%d workers=%d: serving report differs from 1x1:\n%+v\nvs\n%+v",
 				1+int(shards)%7, 1+int(workers)%4, got.Summary, want.Summary)
+		}
+	})
+}
+
+// FuzzObsShardEquivalence is the flight-recorder differential fuzz: with
+// the recorder buffering and serving enabled, both the report — now
+// carrying the per-VM attribution ledgers — and the merged event stream
+// must be DeepEqual-bit-exact between the single-shard, single-worker
+// run and an arbitrary shard/worker split, on traces with migration
+// churn crossing shard boundaries.
+func FuzzObsShardEquivalence(f *testing.F) {
+	f.Add(uint64(3), uint8(40), uint8(30), uint8(3), uint8(2))
+	f.Add(uint64(13), uint8(60), uint8(15), uint8(7), uint8(4))
+	f.Add(uint64(37), uint8(25), uint8(60), uint8(2), uint8(1))
+	f.Add(uint64(71), uint8(50), uint8(20), uint8(5), uint8(3))
+
+	f.Fuzz(func(t *testing.T, seed uint64, arrivals, life, shards, workers uint8) {
+		horizon := 120 * sim.Second
+		tr, err := Generate(GenConfig{
+			Seed:         seed,
+			Arrivals:     5 + int(arrivals%56),
+			Horizon:      horizon,
+			MeanLifetime: sim.Time(10+int(life)%80) * sim.Second,
+			BaseActivity: 0.6,
+			SegmentLen:   30 * sim.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := func(s, w int) Config {
+			return Config{
+				Machines:         testMachines(4, 2),
+				UsePAS:           true,
+				Policy:           NewBestFit(),
+				ReportEvery:      15 * sim.Second,
+				ConsolidateEvery: 15 * sim.Second,
+				Shards:           s,
+				Workers:          w,
+				Seed:             seed,
+				Serving:          ServingConfig{Enabled: true},
+				Obs:              ObsConfig{Enabled: true, Buffer: true},
+			}
+		}
+		run := func(s, w int) (*Report, []obs.Event) {
+			fl, err := New(cfg(s, w), tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := fl.Run(horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rep, fl.ObsEvents()
+		}
+		want, wantEv := run(1, 1)
+		got, gotEv := run(1+int(shards)%7, 1+int(workers)%4)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d workers=%d: obs report differs from 1x1:\n%+v\nvs\n%+v",
+				1+int(shards)%7, 1+int(workers)%4, got.Summary, want.Summary)
+		}
+		if !reflect.DeepEqual(gotEv, wantEv) {
+			t.Fatalf("shards=%d workers=%d: event stream differs from 1x1 (%d vs %d events)",
+				1+int(shards)%7, 1+int(workers)%4, len(gotEv), len(wantEv))
 		}
 	})
 }

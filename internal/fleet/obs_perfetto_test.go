@@ -1,0 +1,42 @@
+package fleet
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pasched/internal/obs"
+	"pasched/internal/sim"
+)
+
+// TestFleetPerfettoTrace runs the churn scenario with a streaming
+// Perfetto sink and checks the produced document is a well-formed
+// trace: valid JSON, legal phases, non-overlapping slices per track,
+// monotone counters — and that the run actually produced per-VM state
+// slices, counters, and instants (the trace is not vacuously valid).
+func TestFleetPerfettoTrace(t *testing.T) {
+	seed := uint64(7)
+	tr := churnTrace(t, seed)
+	var buf bytes.Buffer
+	cfg := churnConfig(2, 2, seed)
+	cfg.Obs = ObsConfig{Enabled: true, Sink: obs.NewPerfettoWriter(&buf)}
+	rep := runFleet(t, cfg, tr, 300*sim.Second)
+
+	st, err := obs.ValidatePerfetto(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("fleet-produced trace rejected: %v", err)
+	}
+	if st.Slices == 0 || st.Counters == 0 || st.Instants == 0 || st.Tracks == 0 {
+		t.Fatalf("vacuous trace: %+v", st)
+	}
+	if st.EndUs != int64(300*sim.Second) {
+		t.Errorf("trace ends at %d us, want %d", st.EndUs, int64(300*sim.Second))
+	}
+	if rep.Summary.ObsEvents == 0 {
+		t.Error("summary reports no recorder events despite an enabled sink")
+	}
+	// The migration churn must show up as named migration instants.
+	if !strings.Contains(buf.String(), `"mig-start`) {
+		t.Error("no migration instants in the trace despite consolidation churn")
+	}
+}

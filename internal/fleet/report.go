@@ -67,6 +67,18 @@ type VMOutcome struct {
 	ReqCompleted int64   `json:"req_completed,omitempty"`
 	ReqMeanMs    float64 `json:"req_mean_ms,omitempty"`
 	ReqMaxMs     float64 `json:"req_max_ms,omitempty"`
+	// Throttle-attribution ledger (zero unless Config.Obs is enabled):
+	// every microsecond of the VM's host residency in exactly one
+	// bucket, so the six buckets sum to LifetimeUs — enforced at every
+	// VM finalization. Exact integers, identical for every shard and
+	// worker count.
+	LifetimeUs    int64 `json:"lifetime_us,omitempty"`
+	RunUs         int64 `json:"run_us,omitempty"`
+	DownclockedUs int64 `json:"downclocked_us,omitempty"`
+	CappedUs      int64 `json:"capped_us,omitempty"`
+	ContendedUs   int64 `json:"contended_us,omitempty"`
+	MigratingUs   int64 `json:"migrating_us,omitempty"`
+	IdleUs        int64 `json:"idle_us,omitempty"`
 }
 
 // Summary is the cluster-level outcome of one fleet run.
@@ -115,6 +127,19 @@ type Summary struct {
 	// ClassLatency breaks the latency summary down per VM class, sorted
 	// by class name; classes that served nothing are omitted.
 	ClassLatency []ClassLatency `json:"class_latency,omitempty"`
+
+	// Flight-recorder totals (zero unless Config.Obs is enabled):
+	// ObsEvents counts the drained events, and the Ledger* fields sum
+	// the per-VM throttle-attribution buckets across every outcome —
+	// the six buckets sum to LedgerSpanUs, enforced at finalize.
+	ObsEvents           int64 `json:"obs_events,omitempty"`
+	LedgerSpanUs        int64 `json:"ledger_span_us,omitempty"`
+	LedgerRunUs         int64 `json:"ledger_run_us,omitempty"`
+	LedgerDownclockedUs int64 `json:"ledger_downclocked_us,omitempty"`
+	LedgerCappedUs      int64 `json:"ledger_capped_us,omitempty"`
+	LedgerContendedUs   int64 `json:"ledger_contended_us,omitempty"`
+	LedgerMigratingUs   int64 `json:"ledger_migrating_us,omitempty"`
+	LedgerIdleUs        int64 `json:"ledger_idle_us,omitempty"`
 
 	// BatchedQuanta and SteppedQuanta aggregate the engines'
 	// introspection across machines: how much of the run the

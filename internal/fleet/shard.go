@@ -6,6 +6,7 @@ import (
 
 	"pasched/internal/energy"
 	"pasched/internal/host"
+	"pasched/internal/obs"
 	"pasched/internal/serve"
 	"pasched/internal/sim"
 	"pasched/internal/vm"
@@ -36,6 +37,10 @@ type dataVM struct {
 	// owning shard's interval partials.
 	prevDemanded sim.Work
 	prevAttained sim.Work
+	// led is the VM's throttle-attribution ledger (Config.Obs only). It
+	// lives in the dataVM so it migrates with the VM; the hosting host
+	// accumulates into it via ObserveVM, and the pool reset zeroes it.
+	led obs.VMLedger
 }
 
 // demanded returns the VM's cumulative demanded work: everything its
@@ -76,6 +81,11 @@ const (
 	// cmdJoin only signals the WaitGroup: a synchronization point without
 	// a fold (the finalize drain).
 	cmdJoin
+	// cmdObsMigMark marks a VM's attribution ledger as migrating at the
+	// pre-copy plan instant (Config.Obs only): the host is synced to the
+	// command time first, so earlier wait time keeps its original
+	// classification.
+	cmdObsMigMark
 )
 
 // command is one timestamped data-plane operation. The coordinator
@@ -195,6 +205,13 @@ type shard struct {
 	servAbandoned int64
 	servInFlight  int64
 
+	// flight-recorder lanes (Config.Obs only): one emitting handle per
+	// local slot, created at first power-on and kept across power cycles
+	// so a lane's sequence numbers never restart; prevBounds snapshots
+	// the engines' boundary-source counters so barriers emit deltas.
+	mobs       []*obs.MachineObs
+	prevBounds [][boundarySources]int64
+
 	err      error
 	poisoned bool // err came from a peer's failure, not this shard
 
@@ -203,6 +220,22 @@ type shard struct {
 
 // globalIndex maps a local slot back to the fleet-wide machine index.
 func (s *shard) globalIndex(slot int32) int { return int(slot)*len(s.f.shards) + s.id }
+
+// boundarySources is the number of engine boundary-source counters the
+// barrier telemetry tracks (obs.BoundarySourceNames).
+const boundarySources = len(obs.BoundarySourceNames)
+
+// machineObs returns the slot's flight-recorder lane, creating it on
+// first use; nil when observation is disabled.
+func (s *shard) machineObs(slot int32) *obs.MachineObs {
+	if s.f.rec == nil {
+		return nil
+	}
+	if s.mobs[slot] == nil {
+		s.mobs[slot] = obs.NewMachineObs(s.f.rec.Ring(s.id), int32(s.globalIndex(slot)))
+	}
+	return s.mobs[slot]
+}
 
 // fail records the shard's first error; later commands run in poison
 // mode (no host work, but hand-offs and barriers still serviced so
@@ -281,6 +314,14 @@ func (s *shard) exec(c *command) {
 		if s.err == nil {
 			s.execRecordLive(c)
 		}
+	case cmdObsMigMark:
+		if s.err == nil {
+			if err := s.sync(c.slot, c.at); err != nil {
+				s.fail(err)
+				return
+			}
+			c.d.led.Migrating = true
+		}
 	}
 }
 
@@ -302,7 +343,7 @@ func (s *shard) execPowerOn(c *command) {
 		// estates affordable. The host starts at time zero either way, so
 		// the catch-up below is identical to an eagerly built host's.
 		spec := s.f.specs[s.f.classOf[s.globalIndex(c.slot)]]
-		h, err := newMachineHost(spec, s.f.cfg)
+		h, err := newMachineHost(spec, s.f.cfg, s.machineObs(c.slot))
 		if err != nil {
 			s.fail(fmt.Errorf("fleet: machine %d: %w", s.globalIndex(c.slot), err))
 			return
@@ -361,6 +402,20 @@ func (s *shard) execAddVM(c *command) {
 	}
 	d.guest, d.wl = guest, wl
 	s.resident[c.slot] = append(s.resident[c.slot], d)
+	if s.f.rec != nil {
+		s.observe(c.slot, d)
+	}
+}
+
+// observe opens a ledger residency segment at the host clock and
+// registers the ledger with the host, which accumulates attribution into
+// it quantum-exactly until the VM detaches.
+func (s *shard) observe(slot int32, d *dataVM) {
+	h := s.hosts[slot]
+	d.led.Attach(h.Now())
+	if err := h.ObserveVM(d.guest.ID(), &d.led); err != nil {
+		s.fail(fmt.Errorf("fleet: observe %s: %w", d.name, err))
+	}
 }
 
 // detach removes the dataVM from the machine's resident list and its
@@ -419,7 +474,30 @@ func (s *shard) execRemoveVM(c *command) {
 	c.out.AttainedWork = att.Units()
 	c.out.SLA = slaOf(att, dem)
 	s.takeServing(d, c.out, false)
+	s.takeLedger(c.slot, d, c.out)
 	s.f.putDataVM(d)
+}
+
+// takeLedger closes the VM's ledger residency at the host clock, checks
+// the conservation invariant (every residency microsecond in exactly one
+// bucket), and moves the buckets into the outcome slot.
+func (s *shard) takeLedger(slot int32, d *dataVM, out *VMOutcome) {
+	if s.f.rec == nil {
+		return
+	}
+	d.led.Detach(s.hosts[slot].Now())
+	if got := d.led.Sum(); got != d.led.SpanUs {
+		s.fail(fmt.Errorf("fleet: VM %s attribution ledger mismatch: %d us attributed, %d us resident",
+			d.name, got, d.led.SpanUs))
+		return
+	}
+	out.LifetimeUs = d.led.SpanUs
+	out.RunUs = d.led.RunUs
+	out.DownclockedUs = d.led.DownclockedUs
+	out.CappedUs = d.led.CappedUs
+	out.ContendedUs = d.led.ContendedUs
+	out.MigratingUs = d.led.MigratingUs
+	out.IdleUs = d.led.IdleUs
 }
 
 // takeServing moves a VM's serving tallies into its outcome slot and
@@ -461,6 +539,12 @@ func (s *shard) execMigrateOut(c *command) {
 		s.fail(err)
 		c.ch <- nil
 		return
+	}
+	if s.f.rec != nil {
+		// Close the source residency segment at the source clock; the
+		// destination reopens it at its own (identically quantum-aligned)
+		// clock, so segments concatenate without gap or overlap.
+		d.led.Detach(s.hosts[c.slot].Now())
 	}
 	d.guest = nil
 	c.ch <- d
@@ -505,6 +589,10 @@ func (s *shard) execMigrateIn(c *command) {
 	}
 	d.guest = guest
 	s.resident[c.slot] = append(s.resident[c.slot], d)
+	if s.f.rec != nil {
+		d.led.Migrating = false
+		s.observe(c.slot, d)
+	}
 }
 
 func (s *shard) execRecordLive(c *command) {
@@ -518,6 +606,7 @@ func (s *shard) execRecordLive(c *command) {
 	// every cmdRecordLive) already advanced the server to the horizon,
 	// so the counters below are final.
 	s.takeServing(d, c.out, true)
+	s.takeLedger(c.slot, d, c.out)
 }
 
 // execBarrier catches every powered-on machine of the shard up to t,
@@ -543,9 +632,35 @@ func (s *shard) execBarrier(t sim.Time) {
 		for _, d := range s.resident[slot] {
 			s.fold(int32(slot), d)
 		}
+		if s.f.rec != nil {
+			s.obsBarrier(int32(slot), t)
+		}
 	}
 	if s.rng.Intn(64) == 0 {
 		s.audit()
+	}
+}
+
+// obsBarrier emits one powered-on machine's barrier telemetry: the
+// engine's boundary-source counter deltas (in the fixed
+// obs.BoundarySourceNames order, so the lane's sequence is
+// sharding-invariant) and each resident serving VM's queue depth.
+// Residents were attached in coordinator dispatch order and detach by
+// swap-removal — both independent of sharding — so the iteration order
+// is too.
+func (s *shard) obsBarrier(slot int32, t sim.Time) {
+	mo := s.machineObs(slot)
+	bs := s.hosts[slot].Engine().BoundarySources()
+	for bi, name := range obs.BoundarySourceNames {
+		if d := bs[name] - s.prevBounds[slot][bi]; d != 0 {
+			mo.Emit(t, obs.KindBoundary, name, d, 0)
+			s.prevBounds[slot][bi] += d
+		}
+	}
+	for _, d := range s.resident[slot] {
+		if d.srv != nil {
+			mo.Emit(t, obs.KindQueueDepth, d.name, int64(d.srv.Queued()), d.srv.Completed())
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"pasched/internal/obs"
 	"pasched/internal/sim"
 )
 
@@ -39,6 +40,10 @@ func churnConfig(shards, workers int, seed uint64) Config {
 		// Serving on: the shard-equivalence checks below then also prove
 		// the latency percentiles are bit-exact across shardings.
 		Serving: ServingConfig{Enabled: true},
+		// Flight recorder on and buffered: the same checks then also
+		// prove the event stream and the attribution ledgers are
+		// bit-exact across shardings.
+		Obs: ObsConfig{Enabled: true, Buffer: true},
 	}
 }
 
@@ -49,20 +54,48 @@ func churnConfig(shards, workers int, seed uint64) Config {
 func TestFleetShardEquivalence(t *testing.T) {
 	for _, seed := range []uint64{7, 99} {
 		tr := churnTrace(t, seed)
-		want := runFleet(t, churnConfig(1, 1, seed), tr, 300*sim.Second)
+		want, wantEv := runFleetObs(t, churnConfig(1, 1, seed), tr, 300*sim.Second)
 		if want.Summary.Migrated == 0 || want.Summary.Departed == 0 {
 			t.Fatalf("seed %d: no churn, comparison is vacuous: %+v", seed, want.Summary)
 		}
+		if len(wantEv) == 0 || want.Summary.LedgerSpanUs == 0 || want.Summary.LedgerMigratingUs == 0 {
+			t.Fatalf("seed %d: no observability signal, comparison is vacuous: %d events, %+v",
+				seed, len(wantEv), want.Summary)
+		}
 		for _, shards := range []int{1, 2, 4, 7} {
 			for _, workers := range []int{1, 4} {
-				got := runFleet(t, churnConfig(shards, workers, seed), tr, 300*sim.Second)
+				got, gotEv := runFleetObs(t, churnConfig(shards, workers, seed), tr, 300*sim.Second)
 				if !reflect.DeepEqual(got, want) {
 					t.Errorf("seed=%d shards=%d workers=%d: report differs from 1x1:\n%+v\nvs\n%+v",
 						seed, shards, workers, got.Summary, want.Summary)
 				}
+				if !reflect.DeepEqual(gotEv, wantEv) {
+					t.Errorf("seed=%d shards=%d workers=%d: event stream differs from 1x1 (%d vs %d events)",
+						seed, shards, workers, len(gotEv), len(wantEv))
+					for i := range gotEv {
+						if i < len(wantEv) && gotEv[i] != wantEv[i] {
+							t.Errorf("first divergence at event %d:\n%+v\nvs\n%+v", i, gotEv[i], wantEv[i])
+							break
+						}
+					}
+				}
 			}
 		}
 	}
+}
+
+// runFleetObs is runFleet plus the retained flight-recorder stream.
+func runFleetObs(t *testing.T, cfg Config, tr *Trace, horizon sim.Time) (*Report, []obs.Event) {
+	t.Helper()
+	f, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := f.Run(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, f.ObsEvents()
 }
 
 // TestFleetShardDefaultsAndClamp covers the shard-count configuration

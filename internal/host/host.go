@@ -34,6 +34,7 @@ import (
 	"pasched/internal/engine"
 	"pasched/internal/governor"
 	"pasched/internal/metrics"
+	"pasched/internal/obs"
 	"pasched/internal/sched"
 	"pasched/internal/sim"
 	"pasched/internal/vm"
@@ -67,6 +68,12 @@ type Config struct {
 	// the same traces; the switch exists for equivalence tests and
 	// debugging.
 	Reference bool
+	// Obs is the host's flight-recorder lane. When nil (the default)
+	// nothing is recorded and the hot path pays a single nil check; when
+	// set, the host emits state/decision events, maintains the per-VM
+	// attribution ledgers registered through ObserveVM, and installs
+	// itself as the scheduler's Tracer.
+	Obs *obs.MachineObs
 }
 
 // Agent is a periodic user-level component running on the host, such as
@@ -122,6 +129,14 @@ type Host struct {
 	govDH        governor.DecisionHorizon
 
 	quotaBuf []sched.PatternQuota // reused per batched pattern step
+
+	// Flight recorder state; obs == nil disables every observation at a
+	// single pointer check per step.
+	obs      *obs.MachineObs
+	leds     []*obs.VMLedger // parallel to vms, maintained only when obs != nil
+	schedThr sched.Throttler
+	obsFreq  cpufreq.Freq // last emitted P-state
+	maxFreq  cpufreq.Freq // the profile's maximum, cached
 }
 
 // machine adapts the host to the engine's Machine interface without
@@ -195,6 +210,15 @@ func New(cfg Config) (*Host, error) {
 	if cfg.Governor != nil {
 		h.govDH, _ = cfg.Governor.(governor.DecisionHorizon)
 	}
+	h.maxFreq = cpu.Profile().Max()
+	if cfg.Obs != nil {
+		h.obs = cfg.Obs
+		h.obsFreq = cpu.Freq()
+		h.schedThr, _ = cfg.Scheduler.(sched.Throttler)
+		if ts, ok := cfg.Scheduler.(sched.TraceSetter); ok {
+			ts.SetTracer(h)
+		}
+	}
 	eng, err := engine.New(cfg.Quantum, machine{h})
 	if err != nil {
 		return nil, fmt.Errorf("host: %w", err)
@@ -229,6 +253,9 @@ func (h *Host) AddVM(v *vm.VM) error {
 	h.byID[v.ID()] = len(h.vms)
 	h.vms = append(h.vms, v)
 	h.acct = append(h.acct, vmAccount{})
+	if h.obs != nil {
+		h.leds = append(h.leds, nil)
+	}
 	return nil
 }
 
@@ -248,11 +275,32 @@ func (h *Host) RemoveVM(id vm.ID) error {
 	h.vms[len(h.vms)-1] = nil // drop the trailing pointer so the VM can be collected
 	h.vms = h.vms[:len(h.vms)-1]
 	h.acct = append(h.acct[:idx], h.acct[idx+1:]...)
+	if h.obs != nil && idx < len(h.leds) {
+		copy(h.leds[idx:], h.leds[idx+1:])
+		h.leds[len(h.leds)-1] = nil
+		h.leds = h.leds[:len(h.leds)-1]
+	}
 	for vid, i := range h.byID {
 		if i > idx {
 			h.byID[vid] = i - 1
 		}
 	}
+	return nil
+}
+
+// ObserveVM attaches a throttle-attribution ledger to a registered VM:
+// from now until the VM is removed, every covered quantum lands in
+// exactly one of the ledger's buckets. Only valid on a host built with
+// Config.Obs.
+func (h *Host) ObserveVM(id vm.ID, led *obs.VMLedger) error {
+	if h.obs == nil {
+		return fmt.Errorf("host: ObserveVM on a host without an observer")
+	}
+	idx, ok := h.byID[id]
+	if !ok {
+		return fmt.Errorf("host: unknown VM id %d", id)
+	}
+	h.leds[idx] = led
 	return nil
 }
 
@@ -358,10 +406,15 @@ func (h *Host) step(now sim.Time) error {
 		v.Tick(now)
 	}
 	h.cpu.Advance(now)
+	if h.obs != nil {
+		h.obsFreqCheck(now)
+	}
 
 	end := now + h.cfg.Quantum
 	util := 0.0
-	if picked := h.scheduler.Pick(now); picked != nil {
+	picked := h.scheduler.Pick(now)
+	var pickedBusy sim.Time
+	if picked != nil {
 		capWork := h.cpu.WorkRate() * sim.Work(h.cfg.Quantum)
 		done := picked.Consume(capWork, end)
 		if done > 0 {
@@ -382,10 +435,14 @@ func (h *Host) step(now sim.Time) error {
 				h.acct[idx].work += done
 			}
 			util = frac
+			pickedBusy = busy
 		}
 	}
 	if err := h.energy.Add(h.cfg.Quantum, h.cpu.Freq(), util); err != nil {
 		return fmt.Errorf("host: %w", err)
+	}
+	if h.obs != nil {
+		h.obsStep(now, picked, pickedBusy)
 	}
 	h.scheduler.Tick(end)
 
@@ -476,6 +533,9 @@ func (h *Host) batchStep(now sim.Time, max int) (int, error) {
 	// would at this quantum start) both matches reference semantics and
 	// clears the way for batching the stretch behind it.
 	h.cpu.Advance(now)
+	if h.obs != nil {
+		h.obsFreqCheck(now)
+	}
 	if _, at, pending := h.cpu.PendingSwitch(); pending {
 		if k := h.quantaCovering(at - now); k < n {
 			n = k
@@ -522,6 +582,9 @@ func (h *Host) batchStep(now sim.Time, max int) (int, error) {
 	freq := h.cpu.Freq()
 	if runnable == 0 {
 		d := sim.Time(n) * q
+		if h.obs != nil {
+			h.obsIdleStretch(now, d)
+		}
 		if err := h.energy.Add(d, freq, 0); err != nil {
 			return 0, fmt.Errorf("host: %w", err)
 		}
@@ -539,6 +602,9 @@ func (h *Host) batchStep(now sim.Time, max int) (int, error) {
 			return 0, nil
 		}
 		d := sim.Time(picks) * q
+		if h.obs != nil {
+			h.obsIdleStretch(now, d)
+		}
 		if err := h.energy.Add(d, freq, 0); err != nil {
 			return 0, fmt.Errorf("host: %w", err)
 		}
@@ -570,6 +636,9 @@ func (h *Host) batchStep(now sim.Time, max int) (int, error) {
 	if idx := sched.IndexOf(h.vms, single); idx >= 0 {
 		h.acct[idx].busy += d
 		h.acct[idx].work += done
+	}
+	if h.obs != nil {
+		h.obsBatchRun(now, d, single)
 	}
 	if err := h.energy.Add(d, freq, 1); err != nil {
 		return 0, fmt.Errorf("host: %w", err)
@@ -614,6 +683,9 @@ func (h *Host) batchPattern(q sim.Time, freq cpufreq.Freq, max int, now sim.Time
 	h.quotaBuf = quotas[:0]
 	if idle {
 		d := sim.Time(max) * q
+		if h.obs != nil {
+			h.obsIdleStretch(now, d)
+		}
 		if err := h.energy.Add(d, freq, 0); err != nil {
 			return 0, fmt.Errorf("host: %w", err)
 		}
@@ -647,10 +719,186 @@ func (h *Host) batchPattern(q sim.Time, freq cpufreq.Freq, max int, now sim.Time
 			h.acct[idx].work += done
 		}
 	}
+	if h.obs != nil {
+		h.obsPatternStretch(now, q, total, picks)
+	}
 	if err := h.energy.Add(sim.Time(total)*q, freq, 1); err != nil {
 		return 0, fmt.Errorf("host: %w", err)
 	}
 	return total, nil
+}
+
+// obsFreqCheck emits a P-state event when the processor frequency
+// changed since the last check (transitions materialize at Advance).
+func (h *Host) obsFreqCheck(at sim.Time) {
+	if f := h.cpu.Freq(); f != h.obsFreq {
+		h.obsFreq = f
+		h.obs.Emit(at, obs.KindPState, "", int64(f), 0)
+	}
+}
+
+// obsState records a VM's attribution state, emitting a KindVMState
+// event only when it changed.
+func (h *Host) obsState(led *obs.VMLedger, v *vm.VM, at sim.Time, st obs.State) {
+	if led.LastState != st {
+		led.LastState = st
+		h.obs.Emit(at, obs.KindVMState, v.Name(), int64(st), 0)
+	}
+}
+
+// obsWaitClass classifies a non-picked VM's quantum: not runnable is
+// idle; runnable but barred by its own exhausted allocation is capped
+// (throttled); otherwise the VM lost the quantum to contention. A
+// migration in flight overrides all three.
+func (h *Host) obsWaitClass(led *obs.VMLedger, v *vm.VM) obs.State {
+	var st obs.State
+	switch {
+	case !v.Runnable():
+		st = obs.StateIdle
+	case h.schedThr != nil && h.schedThr.Throttled(v):
+		st = obs.StateCapped
+	default:
+		st = obs.StateContended
+	}
+	return led.WaitState(st)
+}
+
+// obsStep attributes one reference quantum starting at now: the picked
+// VM's busy time splits into run/downclocked by the momentary
+// frequency (plus an idle tail when its workload drained mid-quantum),
+// and every other observed VM's whole quantum is classified by
+// obsWaitClass.
+func (h *Host) obsStep(now sim.Time, picked *vm.VM, busy sim.Time) {
+	q := h.cfg.Quantum
+	down := h.cpu.Freq() < h.maxFreq
+	for i, v := range h.vms {
+		led := h.leds[i]
+		if led == nil {
+			continue
+		}
+		if v == picked && busy > 0 {
+			led.AddBusy(busy, down)
+			st := obs.StateRun
+			if down {
+				st = obs.StateDownclocked
+			}
+			h.obsState(led, v, now, st)
+			if busy < q {
+				st = led.WaitState(obs.StateIdle)
+				led.AddWait(q-busy, st)
+				h.obsState(led, v, now+busy, st)
+			}
+			continue
+		}
+		st := h.obsWaitClass(led, v)
+		led.AddWait(q, st)
+		h.obsState(led, v, now, st)
+	}
+}
+
+// obsIdleStretch attributes a batched stretch of d during which the
+// processor provably idles: runnable VMs are all barred by their own
+// exhausted allocations (capped), the rest have no work (idle).
+func (h *Host) obsIdleStretch(at, d sim.Time) {
+	for i, v := range h.vms {
+		led := h.leds[i]
+		if led == nil {
+			continue
+		}
+		st := obs.StateIdle
+		if v.Runnable() {
+			st = obs.StateCapped
+		}
+		st = led.WaitState(st)
+		led.AddWait(d, st)
+		h.obsState(led, v, at, st)
+	}
+}
+
+// obsBatchRun attributes a batched single-runnable-VM stretch: ran
+// executes for all of d, every other observed VM is idle.
+func (h *Host) obsBatchRun(at, d sim.Time, ran *vm.VM) {
+	down := h.cpu.Freq() < h.maxFreq
+	for i, v := range h.vms {
+		led := h.leds[i]
+		if led == nil {
+			continue
+		}
+		if v == ran {
+			led.AddBusy(d, down)
+			st := obs.StateRun
+			if down {
+				st = obs.StateDownclocked
+			}
+			h.obsState(led, v, at, st)
+			continue
+		}
+		st := led.WaitState(obs.StateIdle)
+		led.AddWait(d, st)
+		h.obsState(led, v, at, st)
+	}
+}
+
+// obsPatternStretch attributes a committed pattern step of total
+// quanta: each picked VM splits into its busy tally and contended
+// remainder (the certification pins the runnable set and tier
+// membership across the stretch, so the split is exact); non-picked
+// VMs are classified once for the whole stretch. The emitted visual
+// state is the VM's dominant state across the stretch — the ledger
+// stays exact underneath.
+func (h *Host) obsPatternStretch(at, q sim.Time, total int, picks []sched.PatternPick) {
+	down := h.cpu.Freq() < h.maxFreq
+	d := sim.Time(total) * q
+	for i, v := range h.vms {
+		led := h.leds[i]
+		if led == nil {
+			continue
+		}
+		tally := 0
+		for _, p := range picks {
+			if p.VM == v {
+				tally = p.Quanta
+				break
+			}
+		}
+		if tally > 0 {
+			busy := sim.Time(tally) * q
+			led.AddBusy(busy, down)
+			wait := led.WaitState(obs.StateContended)
+			if busy < d {
+				led.AddWait(d-busy, wait)
+			}
+			st := obs.StateRun
+			if down {
+				st = obs.StateDownclocked
+			}
+			if 2*busy < d {
+				st = wait
+			}
+			h.obsState(led, v, at, st)
+			continue
+		}
+		st := h.obsWaitClass(led, v)
+		led.AddWait(d, st)
+		h.obsState(led, v, at, st)
+	}
+	h.obs.Emit(at, obs.KindPattern, "", int64(total), int64(len(picks)))
+}
+
+// TraceRefill implements sched.Tracer: the host forwards scheduler
+// accounting boundaries into its recorder lane.
+func (h *Host) TraceRefill(now sim.Time) {
+	if h.obs != nil {
+		h.obs.Emit(now, obs.KindRefill, "", 0, 0)
+	}
+}
+
+// TraceExhausted implements sched.Tracer: a VM's budget crossed zero
+// under a hard cap.
+func (h *Host) TraceExhausted(now sim.Time, v *vm.VM) {
+	if h.obs != nil {
+		h.obs.Emit(now, obs.KindExhausted, v.Name(), 0, 0)
+	}
 }
 
 // capReader returns the function used to read per-VM caps for the traces:

@@ -1,0 +1,102 @@
+package obs
+
+import "pasched/internal/sim"
+
+// VMLedger is the exact integer-microsecond throttle-attribution ledger
+// of one VM: every microsecond of the VM's host-clock residency lands
+// in exactly one bucket, so the buckets always sum to SpanUs — the
+// fleet enforces that invariant at every VM finalization, the same way
+// the serving layer enforces request conservation.
+//
+// Bucket semantics, decided per covered scheduling quantum (or per
+// certified batched stretch, whose classification is provably constant
+// across the stretch):
+//
+//	RunUs         executing at the processor's maximum frequency
+//	DownclockedUs executing at a reduced frequency (DVFS)
+//	CappedUs      runnable but barred by its own exhausted allocation
+//	              (credit cap, expired SEDF slice) — throttled
+//	ContendedUs   runnable and entitled, but another VM held the
+//	              processor
+//	MigratingUs   non-executing time while a live migration of the VM
+//	              was in flight (pre-copy); execution during pre-copy
+//	              still counts as Run/Downclocked
+//	IdleUs        not runnable (no pending work)
+//
+// The ledger is accumulated on the data plane by the host that the VM
+// currently resides on; a migration closes the span on the source and
+// reopens it on the destination at the same quantum-aligned instant, so
+// residency segments concatenate without gap or overlap and the ledger
+// reduces order-independently like every other accounted quantity.
+type VMLedger struct {
+	RunUs         int64
+	DownclockedUs int64
+	CappedUs      int64
+	ContendedUs   int64
+	MigratingUs   int64
+	IdleUs        int64
+
+	// SpanUs is the total host-clock residency accumulated by
+	// Attach/Detach pairs. The conservation invariant is Sum() == SpanUs
+	// at every detach point.
+	SpanUs int64
+
+	// Migrating diverts wait-time classification to MigratingUs while a
+	// pre-copy is in flight. Set by the fleet when a migration is
+	// planned, cleared when the VM lands on the destination.
+	Migrating bool
+
+	// LastState is the most recent attribution state, used to emit
+	// KindVMState events only on change.
+	LastState State
+
+	attached sim.Time
+}
+
+// Attach opens a residency segment at the host clock time at.
+func (l *VMLedger) Attach(at sim.Time) { l.attached = at }
+
+// Detach closes the current residency segment at the host clock time
+// at, folding its length into SpanUs.
+func (l *VMLedger) Detach(at sim.Time) {
+	l.SpanUs += int64(at - l.attached)
+	l.attached = at
+}
+
+// Sum returns the total attributed microseconds across all buckets.
+func (l *VMLedger) Sum() int64 {
+	return l.RunUs + l.DownclockedUs + l.CappedUs + l.ContendedUs + l.MigratingUs + l.IdleUs
+}
+
+// AddBusy attributes d of execution time, split by frequency state.
+func (l *VMLedger) AddBusy(d sim.Time, downclocked bool) {
+	if downclocked {
+		l.DownclockedUs += int64(d)
+	} else {
+		l.RunUs += int64(d)
+	}
+}
+
+// WaitState resolves the attribution state for non-executing time: the
+// migrating flag overrides the scheduler-derived classification.
+func (l *VMLedger) WaitState(s State) State {
+	if l.Migrating {
+		return StateMigrating
+	}
+	return s
+}
+
+// AddWait attributes d of non-executing time to the bucket named by the
+// (already WaitState-resolved) state s.
+func (l *VMLedger) AddWait(d sim.Time, s State) {
+	switch s {
+	case StateCapped:
+		l.CappedUs += int64(d)
+	case StateContended:
+		l.ContendedUs += int64(d)
+	case StateMigrating:
+		l.MigratingUs += int64(d)
+	default:
+		l.IdleUs += int64(d)
+	}
+}

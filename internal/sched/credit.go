@@ -54,6 +54,7 @@ type Credit struct {
 	rrUncapped rrQueue
 	rrOverflow rrQueue
 	nextRefill sim.Time
+	tracer     Tracer
 }
 
 var (
@@ -62,6 +63,8 @@ var (
 	_ BoundaryReporter = (*Credit)(nil)
 	_ Batcher          = (*Credit)(nil)
 	_ PatternBatcher   = (*Credit)(nil)
+	_ TraceSetter      = (*Credit)(nil)
+	_ Throttler        = (*Credit)(nil)
 )
 
 // NewCredit returns a Credit scheduler with the given configuration.
@@ -171,7 +174,7 @@ func (c *Credit) Pick(now sim.Time) *vm.VM {
 }
 
 // Charge implements Scheduler.
-func (c *Credit) Charge(v *vm.VM, busy sim.Time, _ sim.Time) {
+func (c *Credit) Charge(v *vm.VM, busy sim.Time, now sim.Time) {
 	if v == nil || busy <= 0 {
 		return
 	}
@@ -179,8 +182,12 @@ func (c *Credit) Charge(v *vm.VM, busy sim.Time, _ sim.Time) {
 	if idx < 0 {
 		return
 	}
+	before := c.st[idx].budget
 	c.st[idx].budget -= int64(busy)
 	c.st[idx].used += int64(busy)
+	if c.tracer != nil && c.st[idx].cap > 0 && before > 0 && c.st[idx].budget <= 0 {
+		c.tracer.TraceExhausted(now, v)
+	}
 }
 
 // Tick implements Scheduler: it refills budgets at period boundaries.
@@ -192,6 +199,9 @@ func (c *Credit) Charge(v *vm.VM, busy sim.Time, _ sim.Time) {
 // a work-conserving overflow cannot starve a VM indefinitely.
 func (c *Credit) Tick(now sim.Time) {
 	for c.nextRefill <= now {
+		if c.tracer != nil {
+			c.tracer.TraceRefill(c.nextRefill)
+		}
 		for i := range c.st {
 			refill := c.st[i].refill
 			b := c.st[i].budget + refill
@@ -362,3 +372,20 @@ func (c *Credit) Budget(id vm.ID) (sim.Time, error) {
 
 // Period returns the accounting period.
 func (c *Credit) Period() sim.Time { return c.cfg.Period }
+
+// SetTracer implements TraceSetter.
+func (c *Credit) SetTracer(t Tracer) { c.tracer = t }
+
+// Throttled implements Throttler: a capped VM with an exhausted budget
+// is barred until the next refill unless the scheduler is
+// work-conserving.
+func (c *Credit) Throttled(v *vm.VM) bool {
+	if c.cfg.WorkConserving {
+		return false
+	}
+	idx := IndexOf(c.vms, v)
+	if idx < 0 {
+		return false
+	}
+	return c.st[idx].cap > 0 && c.st[idx].budget <= 0
+}

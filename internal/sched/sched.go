@@ -182,6 +182,36 @@ type EffectiveCapper interface {
 	EffectiveCap(id vm.ID) (float64, error)
 }
 
+// Tracer receives scheduler decision events for the flight recorder.
+// It is optional: schedulers expose it through TraceSetter, and a nil
+// tracer (the default) must cost nothing on the hot path — every
+// emission sits behind a single nil check.
+type Tracer interface {
+	// TraceRefill marks an accounting boundary (credit refill) at now.
+	TraceRefill(now sim.Time)
+	// TraceExhausted marks v's budget crossing zero under a hard cap at
+	// now.
+	TraceExhausted(now sim.Time, v *vm.VM)
+}
+
+// TraceSetter is implemented by schedulers that can report decision
+// events to a Tracer. Setting a nil tracer disables tracing.
+type TraceSetter interface {
+	SetTracer(t Tracer)
+}
+
+// Throttler is implemented by schedulers that can distinguish a
+// runnable VM barred by its *own* exhausted allocation (credit cap,
+// expired SEDF slice) from one merely waiting for the processor. The
+// attribution ledger uses it to split waiting time into capped versus
+// contended; schedulers without the interface (the work-conserving
+// ones) never throttle, so their waiters are all contention.
+type Throttler interface {
+	// Throttled reports whether runnable VM v is currently barred from
+	// the processor by its own exhausted allocation.
+	Throttled(v *vm.VM) bool
+}
+
 // checkAdd performs the common Add registration checks.
 func checkAdd(byID map[vm.ID]int, v *vm.VM) error {
 	if v == nil {

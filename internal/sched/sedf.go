@@ -78,7 +78,18 @@ var (
 	_ BoundaryReporter = (*SEDF)(nil)
 	_ Batcher          = (*SEDF)(nil)
 	_ PatternBatcher   = (*SEDF)(nil)
+	_ Throttler        = (*SEDF)(nil)
 )
+
+// Throttled implements Throttler: a VM whose slice is exhausted and
+// that is not extratime-eligible is barred until its deadline rolls.
+func (s *SEDF) Throttled(v *vm.VM) bool {
+	idx := IndexOf(s.vms, v)
+	if idx < 0 {
+		return false
+	}
+	return s.st[idx].remaining <= 0 && !s.st[idx].params.Extratime
+}
 
 // NewSEDF returns an SEDF scheduler with the given configuration.
 func NewSEDF(cfg SEDFConfig) *SEDF {

@@ -269,6 +269,10 @@ func (s *Server) Now() sim.Time { return s.now }
 // Offered returns how many requests the client stream has delivered.
 func (s *Server) Offered() int64 { return s.offered }
 
+// Queued returns how many requests are waiting for a service slot (not
+// counting requests in service), for queue-depth telemetry samples.
+func (s *Server) Queued() int { return s.qlen() }
+
 // Completed returns how many requests have been served.
 func (s *Server) Completed() int64 { return s.completed }
 
