@@ -13,8 +13,10 @@ import (
 	"testing"
 
 	"pasched"
+	"pasched/internal/autoscale"
 	"pasched/internal/fleet"
 	"pasched/internal/sim"
+	"pasched/internal/workload"
 )
 
 // runExperiment executes one experiment per benchmark iteration and
@@ -264,6 +266,22 @@ func BenchmarkFleetRun(b *testing.B) {
 		cfg := base
 		cfg.Shards, cfg.Workers = 1, 1
 		cfg.Obs = fleet.ObsConfig{Enabled: true, Buffer: true}
+		benchFleet(b, trace, cfg, horizon)
+	})
+	// autoscale runs the full elastic loop on top of serve + obs: signal
+	// builds at every barrier, ditto policy decisions, cap rebooking and
+	// replica scale-out/in with arrival-stream repartitioning. Gates the
+	// coordinator-side control-loop overhead and its allocations.
+	b.Run("autoscale", func(b *testing.B) {
+		cfg := base
+		cfg.Shards, cfg.Workers = 1, 1
+		cfg.Serving = fleet.ServingConfig{Enabled: true, RequestCost: workload.DefaultRequestCost}
+		cfg.Obs = fleet.ObsConfig{Enabled: true, Buffer: true}
+		cfg.Autoscale = fleet.AutoscaleConfig{
+			Enabled: true,
+			Policy:  "ditto",
+			Params:  autoscale.Params{MaxCapPct: 30, MaxReplicas: 2, CappedHighPermille: 50},
+		}
 		benchFleet(b, trace, cfg, horizon)
 	})
 	b.Run("large", func(b *testing.B) {

@@ -47,6 +47,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pasched/internal/autoscale"
 	"pasched/internal/fleet"
 	"pasched/internal/metrics"
 	"pasched/internal/obs"
@@ -69,6 +70,10 @@ func run(args []string, out, errOut io.Writer) int {
 		schedName   = fs.String("sched", "pas", "per-machine scheduler: "+fleet.SchedulerNames())
 		serve       = fs.Bool("serve", false, "enable the request-level serving layer (per-VM clients, reply-latency percentiles)")
 		serveSlots  = fs.Int("serve-slots", 0, "per-VM service slots (0 = default)")
+		autoPolicy  = fs.String("autoscale", "", "enable the elastic loop with this policy: "+autoscale.Names()+" (requires -serve; ditto also requires -trace)")
+		autoMaxRep  = fs.Int("autoscale-max-replicas", 0, "replica ceiling per VM group (0 = default, 1 = cap resizes only)")
+		autoMaxCap  = fs.Float64("autoscale-max-cap", 0, "cap ceiling in CPU percent a VM may grow to (0 = default)")
+		autoStep    = fs.Float64("autoscale-step", 0, "cap increment of one resize decision in CPU percent (0 = default)")
 		report      = fs.Float64("report", 30, "reporting interval in seconds")
 		consolidate = fs.Float64("consolidate", 120, "consolidation interval in seconds (0 disables)")
 		shards      = fs.Int("shards", 0, "machine shards stepped by independent workers (0 = one per worker)")
@@ -96,6 +101,11 @@ func run(args []string, out, errOut io.Writer) int {
 	if *schedName == "" || !fleet.ValidScheduler(*schedName) {
 		fmt.Fprintf(errOut, "pasfleet: unknown scheduler %q (accepted: %s)\n",
 			*schedName, fleet.SchedulerNames())
+		return 2
+	}
+	if *autoPolicy != "" && !autoscale.Valid(*autoPolicy) {
+		fmt.Fprintf(errOut, "pasfleet: unknown autoscale policy %q (accepted: %s)\n",
+			*autoPolicy, autoscale.Names())
 		return 2
 	}
 	if *shards < 0 {
@@ -247,6 +257,15 @@ func run(args []string, out, errOut io.Writer) int {
 		DiscardReport:    *noReport,
 		Serving:          fleet.ServingConfig{Enabled: *serve, Slots: *serveSlots},
 		Obs:              obsCfg,
+		Autoscale: fleet.AutoscaleConfig{
+			Enabled: *autoPolicy != "",
+			Policy:  *autoPolicy,
+			Params: autoscale.Params{
+				StepPct:     *autoStep,
+				MaxCapPct:   *autoMaxCap,
+				MaxReplicas: *autoMaxRep,
+			},
+		},
 	}, tr)
 	if err != nil {
 		fmt.Fprintln(errOut, err)
@@ -437,10 +456,15 @@ func printSummary(out io.Writer, rep *fleet.Report) {
 	tb.AddRow("VMs below 95% SLA", fmt.Sprintf("%d", s.VMsBelow95))
 	if s.RequestsOffered > 0 {
 		tb.AddRow("requests offered / completed", fmt.Sprintf("%d / %d", s.RequestsOffered, s.RequestsCompleted))
-		tb.AddRow("requests abandoned / in flight", fmt.Sprintf("%d / %d", s.RequestsAbandoned, s.RequestsInFlight))
+		tb.AddRow("requests abandoned / retried / in flight",
+			fmt.Sprintf("%d / %d / %d", s.RequestsAbandoned, s.RequestsRetried, s.RequestsInFlight))
 		tb.AddRow("reply latency p50 / p95 / p99 (ms)",
 			fmt.Sprintf("%.2f / %.2f / %.2f", s.ReqP50Ms, s.ReqP95Ms, s.ReqP99Ms))
 		tb.AddRow("reply latency mean / max (ms)", fmt.Sprintf("%.2f / %.2f", s.ReqMeanMs, s.ReqMaxMs))
+	}
+	if s.AutoscaleResizes+s.AutoscaleScaleOuts+s.AutoscaleScaleIns+s.AutoscaleRejected > 0 {
+		tb.AddRow("autoscale resizes / rejected", fmt.Sprintf("%d / %d", s.AutoscaleResizes, s.AutoscaleRejected))
+		tb.AddRow("autoscale scale-outs / scale-ins", fmt.Sprintf("%d / %d", s.AutoscaleScaleOuts, s.AutoscaleScaleIns))
 	}
 	if s.ObsEvents > 0 {
 		tb.AddRow("recorder events", fmt.Sprintf("%d", s.ObsEvents))

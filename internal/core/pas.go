@@ -76,6 +76,7 @@ type PAS struct {
 	loads       LoadSource
 	initCredit  map[vm.ID]float64
 	recomputes  int
+	tracer      sched.Tracer
 }
 
 var (
@@ -167,8 +168,13 @@ func (p *PAS) Pick(now sim.Time) *vm.VM { return p.credit.Pick(now) }
 func (p *PAS) Charge(v *vm.VM, busy, now sim.Time) { p.credit.Charge(v, busy, now) }
 
 // SetTracer implements sched.TraceSetter: PAS enforces through Credit,
-// so the refill/exhaustion events come from the inner scheduler.
-func (p *PAS) SetTracer(t sched.Tracer) { p.credit.SetTracer(t) }
+// so the refill/exhaustion events come from the inner scheduler; PAS
+// additionally retains the tracer for its own recompensation events
+// (sched.RecompensateTracer).
+func (p *PAS) SetTracer(t sched.Tracer) {
+	p.tracer = t
+	p.credit.SetTracer(t)
+}
 
 // Throttled implements sched.Throttler by delegating to the inner
 // Credit scheduler, whose compensated caps are the enforcement in
@@ -238,21 +244,38 @@ func (p *PAS) updateDvfsAndCredits(now sim.Time) {
 	}
 	ratio := prof.Ratio(newFreq)
 	cf := cfAt(p.cf, newIdx)
+	changed := newFreq != p.cpu.Freq()
+	compensated := int64(0)
 	for id, init := range p.initCredit {
 		if init <= 0 {
 			continue // null-credit VMs have no SLA to compensate
 		}
+		// Compensation failing, or the cap setter rejecting a VM that was
+		// registered through Add, would leave the VM capped for the old
+		// frequency with no trace — an accounting invariant violation, not
+		// a recoverable condition. init > 0 was checked, ratio and cf come
+		// from the validated ladder, and every id is registered, so both
+		// are impossible; enforce it.
 		newCredit, err := CompensatedCredit(init, ratio, cf)
 		if err != nil {
-			continue
+			panic(fmt.Sprintf("core: PAS recompensation for VM %d (init %v, ratio %v, cf %v): %v",
+				id, init, ratio, cf, err))
 		}
-		// The cap setter rejects only unknown VMs, which cannot happen
-		// for VMs registered through Add.
-		_ = p.credit.SetCap(id, newCredit)
+		if err := p.credit.SetCap(id, newCredit); err != nil {
+			panic(fmt.Sprintf("core: PAS recompensated cap for VM %d rejected: %v", id, err))
+		}
+		compensated++
 	}
-	if newFreq != p.cpu.Freq() {
+	if changed {
 		_ = p.cpu.SetFreq(newFreq, now) // ladder-validated above
 		p.settleUntil = now + p.settle
+		// One decision event per recomputation that changed the enforced
+		// caps (recompensating at an unchanged frequency rewrites identical
+		// values); a single event keeps the emission independent of the
+		// initCredit map's iteration order.
+		if rt, ok := p.tracer.(sched.RecompensateTracer); ok {
+			rt.TraceRecompensate(now, int64(newFreq), compensated)
+		}
 	}
 	p.recomputes++
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pasched/internal/autoscale"
 	"pasched/internal/consolidation"
 	"pasched/internal/cpufreq"
 	"pasched/internal/energy"
@@ -127,6 +128,35 @@ type Config struct {
 	// stream across every layer plus the per-VM throttle-attribution
 	// ledger. See ObsConfig.
 	Obs ObsConfig
+	// Autoscale enables the elastic control loop: a policy-pluggable
+	// controller deciding cap/weight resizes, overhead changes and
+	// replica scale-out/in at every reporting barrier. Requires
+	// Serving.Enabled. See AutoscaleConfig.
+	Autoscale AutoscaleConfig
+}
+
+// AutoscaleConfig configures the optional autoscaler
+// (internal/autoscale). When enabled, the coordinator observes every
+// live VM at each reporting barrier — serving queue depth and outcome
+// counters, machine credit headroom, interval latency percentiles, and
+// (with Obs enabled) the throttle-attribution ledger — hands the
+// signals to the policy, and applies its resize actions at the barrier
+// instant as ordinary data-plane commands. Decisions are a pure
+// function of coordinator-ordered state, so an autoscaled report stays
+// DeepEqual-bit-exact for every shard and worker count.
+type AutoscaleConfig struct {
+	// Enabled switches the autoscaler on. Requires Serving.Enabled.
+	Enabled bool
+	// Policy names the decision policy (internal/autoscale registry:
+	// "ditto", "queue", "latency"). Empty selects "ditto" — which
+	// requires Obs.Enabled, since it triggers on attributed capped time
+	// rather than raw queue depth.
+	Policy string
+	// Params tunes the policy; zero fields take the documented
+	// defaults. Params.MaxReplicas > 1 additionally requires the
+	// open-loop serving model (replicas split one seeded arrival
+	// stream; closed-loop client populations cannot be split).
+	Params autoscale.Params
 }
 
 // ObsConfig configures the optional flight recorder (internal/obs).
@@ -170,6 +200,28 @@ type ServingConfig struct {
 	// a healthy VM serves its stream with five-fold headroom and
 	// queueing appears exactly when enforcement throttles it.
 	RequestCost float64
+	// OverheadPermille routes that fraction of every VM's attained work
+	// to its emulator/IO threads before request service — the
+	// per-VM overhead consumers the autoscaler rebalances against vCPU
+	// shares. [0, 999].
+	OverheadPermille int64
+	// ClosedLoop replaces the open-loop arrival stream with a seeded
+	// closed-loop client population per VM: each client issues one
+	// request, waits for the reply, thinks, and re-issues, so offered
+	// load backs off under throttling the way real clients do.
+	// Incompatible with replica scale-out (the stream cannot be split).
+	ClosedLoop bool
+	// Clients is the closed-loop population size per VM; zero selects
+	// 4x Slots.
+	Clients int
+	// ThinkTime is the closed-loop mean think time (exponential, or
+	// fixed with Config.DeterministicArrivals).
+	ThinkTime sim.Time
+	// AbandonAfter, when positive, abandons requests still queued that
+	// long after issue; RetryMax re-queues each abandoned request at
+	// most that many times first. Both loops honor them.
+	AbandonAfter sim.Time
+	RetryMax     int
 }
 
 // SchedulerNames renders the scheduler names Config.Scheduler accepts —
@@ -260,11 +312,56 @@ func (cfg Config) withDefaults() (Config, error) {
 		if cfg.Serving.RequestCost == 0 {
 			cfg.Serving.RequestCost = workload.DefaultRequestCost / serve.DefaultRequestCostDivisor
 		}
+		if cfg.Serving.ClosedLoop && cfg.Serving.Clients == 0 {
+			cfg.Serving.Clients = 4 * cfg.Serving.Slots
+		}
 		// Probe-validate the resolved serving parameters here, so a bad
-		// slot count or cost fails at New instead of mid-run on a shard.
-		if _, err := serve.New(serve.Config{Slots: cfg.Serving.Slots, RequestCost: cfg.Serving.RequestCost}); err != nil {
+		// slot count, cost, overhead share or client population fails at
+		// New instead of mid-run on a shard.
+		if _, err := serve.New(serve.Config{
+			Slots:            cfg.Serving.Slots,
+			RequestCost:      cfg.Serving.RequestCost,
+			OverheadPermille: cfg.Serving.OverheadPermille,
+			ClosedLoop:       cfg.Serving.ClosedLoop,
+			Clients:          cfg.Serving.Clients,
+			ThinkTime:        cfg.Serving.ThinkTime,
+			AbandonAfter:     cfg.Serving.AbandonAfter,
+			RetryMax:         cfg.Serving.RetryMax,
+		}); err != nil {
 			return cfg, fmt.Errorf("fleet: %w", err)
 		}
+	} else {
+		zero := ServingConfig{}
+		if cfg.Serving != zero {
+			return cfg, fmt.Errorf("fleet: serving options set without Serving.Enabled")
+		}
+	}
+	if cfg.Autoscale.Enabled {
+		if !cfg.Serving.Enabled {
+			return cfg, fmt.Errorf("fleet: autoscaler requires the serving layer (Serving.Enabled)")
+		}
+		if cfg.Autoscale.Policy == "" {
+			cfg.Autoscale.Policy = "ditto"
+		}
+		prm, err := cfg.Autoscale.Params.WithDefaults()
+		if err != nil {
+			return cfg, fmt.Errorf("fleet: %w", err)
+		}
+		cfg.Autoscale.Params = prm
+		pol, err := autoscale.New(cfg.Autoscale.Policy, prm)
+		if err != nil {
+			return cfg, fmt.Errorf("fleet: %w", err)
+		}
+		if pol.RequiresObs() && !cfg.Obs.Enabled {
+			return cfg, fmt.Errorf("fleet: autoscale policy %q reads the attribution ledger and requires Obs.Enabled",
+				cfg.Autoscale.Policy)
+		}
+		if prm.MaxReplicas > 1 && cfg.Serving.ClosedLoop {
+			return cfg, fmt.Errorf("fleet: replica scale-out (MaxReplicas %d) requires the open-loop serving model",
+				prm.MaxReplicas)
+		}
+	} else if cfg.Autoscale.Policy != "" {
+		return cfg, fmt.Errorf("fleet: Autoscale.Policy set without Autoscale.Enabled")
 	}
 	return cfg, nil
 }
@@ -281,6 +378,16 @@ type ctlVM struct {
 	mig     *migration // non-nil while migrating away
 	gone    bool
 	d       *dataVM
+
+	// autoscaler state: baseCap is the contracted (trace class) credit
+	// the cap shrinks toward while req.CreditPct tracks the current
+	// booking; parent links a replica to its group parent; reps lists a
+	// parent's live replicas in share order; spawned counts replicas
+	// ever created (the replica seed/name lane, never reused).
+	baseCap float64
+	parent  *ctlVM
+	reps    []*ctlVM
+	spawned int
 }
 
 // migration is one in-flight live migration (pre-copy: the VM keeps
@@ -418,6 +525,15 @@ type Fleet struct {
 	migs  map[string]*migration
 	migQ  timedHeap
 
+	// autoscaler (Autoscale.Enabled only): the controller wrapping the
+	// policy, the reused signal buffer, and the decision counters.
+	auto       *autoscale.Controller
+	autoSigs   []autoscale.Signals
+	asResizes  int64
+	asOuts     int64
+	asIns      int64
+	asRejected int64
+
 	// pools and scratch: the steady-state loop allocates only what must
 	// outlive it (workloads, guests, phase slices).
 	ctlFree    []*ctlVM
@@ -552,6 +668,14 @@ func New(cfg Config, trace *Trace) (*Fleet, error) {
 			f.classIdx[name] = int32(ci)
 		}
 		f.latClass = make([]serve.Histogram, len(f.classNames))
+	}
+
+	if cfg.Autoscale.Enabled {
+		pol, err := autoscale.New(cfg.Autoscale.Policy, cfg.Autoscale.Params)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %w", err) // unreachable: withDefaults probed
+		}
+		f.auto = autoscale.NewController(pol)
 	}
 
 	ns := cfg.Shards
@@ -1037,6 +1161,7 @@ func (f *Fleet) arrive(ev *VMEvent) error {
 
 	p := f.getCtlVM()
 	p.req, p.class, p.machine, p.arrive, p.d = req, ev.Class, idx, f.now, d
+	p.baseCap = req.CreditPct
 	f.vms[ev.Name] = p
 	f.order = append(f.order, p)
 	if depart := ev.Arrive + ev.Lifetime; depart < f.horizon {
@@ -1088,6 +1213,29 @@ func (f *Fleet) depart(name string) error {
 	if !ok || p.gone {
 		return fmt.Errorf("fleet: departure of unknown VM %q", name)
 	}
+	// A departing parent takes its autoscaled replicas with it: their
+	// share of the arrival stream leaves with the clients.
+	for _, q := range p.reps {
+		if err := f.removeVM(q); err != nil {
+			return err
+		}
+		f.asIns++
+	}
+	p.reps = p.reps[:0]
+	if err := f.removeVM(p); err != nil {
+		return err
+	}
+	f.departed++
+	f.iv.Departures++
+	return nil
+}
+
+// removeVM is the shared removal mechanics of trace departures and
+// replica scale-in: abort any in-flight migration, assign the outcome
+// slot, dispatch the data-plane detach, and free the booking. Lifecycle
+// counters stay with the callers (trace departures count in
+// Summary.Departed, replica removals in AutoscaleScaleIns).
+func (f *Fleet) removeVM(p *ctlVM) error {
 	if p.mig != nil {
 		f.abortMigration(p)
 	}
@@ -1102,9 +1250,7 @@ func (f *Fleet) depart(name string) error {
 	f.vmCount[p.machine]--
 	p.gone = true
 	p.d = nil
-	delete(f.vms, name)
-	f.departed++
-	f.iv.Departures++
+	delete(f.vms, p.req.Name)
 	return nil
 }
 
@@ -1352,17 +1498,22 @@ func (f *Fleet) reportBarrier(t sim.Time) error {
 	f.iv.DemandedWork = f.ivDemanded.Units()
 	f.iv.AttainedWork = f.ivAttained.Units()
 	f.iv.SLA = slaOf(f.ivAttained, f.ivDemanded)
-	if dt := (t - f.lastSample).Seconds(); dt > 0 {
+	ivLen := t - f.lastSample
+	if dt := ivLen.Seconds(); dt > 0 {
 		f.iv.AvgPowerW = f.iv.Joules / dt
 	}
+	var ivP50Us, ivP99Us int64
 	if f.cfg.Serving.Enabled {
 		f.iv.Requests = f.ivLat.Count()
 		if f.iv.Requests > 0 {
-			f.iv.ReqP50Ms = float64(f.ivLat.Quantile(0.50)) / 1e3
+			// Stash the interval quantiles in microseconds before the
+			// reset below: the autoscaler's signals read them too.
+			ivP50Us, ivP99Us = f.ivLat.Quantile(0.50), f.ivLat.Quantile(0.99)
+			f.iv.ReqP50Ms = float64(ivP50Us) / 1e3
 			f.iv.ReqP95Ms = float64(f.ivLat.Quantile(0.95)) / 1e3
-			f.iv.ReqP99Ms = float64(f.ivLat.Quantile(0.99)) / 1e3
+			f.iv.ReqP99Ms = float64(ivP99Us) / 1e3
 			if f.cobs != nil {
-				f.cobs.Emit(t, obs.KindLatency, "", f.ivLat.Quantile(0.50), f.ivLat.Quantile(0.99))
+				f.cobs.Emit(t, obs.KindLatency, "", ivP50Us, ivP99Us)
 			}
 		}
 		f.ivLat.Reset()
@@ -1386,6 +1537,25 @@ func (f *Fleet) reportBarrier(t sim.Time) error {
 	f.iv = Interval{}
 	f.ivEnergy = energy.Energy{}
 	f.ivDemanded, f.ivAttained = 0, 0
+
+	// The elastic loop runs with every shard still parked at the barrier
+	// (the coordinator may legally read data-plane state until the first
+	// dispatch) and the interval's latency quantiles in hand. The final
+	// barrier skips it: there is nothing left to resize.
+	if f.auto != nil && t < f.horizon {
+		if err := f.autoscaleStep(t, ivP50Us, ivP99Us, ivLen); err != nil {
+			return err
+		}
+		if f.rec != nil {
+			// The resize and scale-out commands just dispatched emit host
+			// events at the barrier instant; rejoin the shards before the
+			// drain below so those events land in this window's merge
+			// deterministically, not racing it.
+			if err := f.join(); err != nil {
+				return err
+			}
+		}
+	}
 
 	// Power off machines the departures emptied (their energy up to the
 	// barrier was already reduced above). Keeping them on until the
@@ -1507,11 +1677,28 @@ func (f *Fleet) finalize() error {
 			return fmt.Errorf("fleet: attribution ledger mismatch: %d us attributed, %d us of VM residency", sum, f.ledTot[6])
 		}
 	}
+	if f.auto != nil {
+		s.AutoscaleResizes = f.asResizes
+		s.AutoscaleScaleOuts = f.asOuts
+		s.AutoscaleScaleIns = f.asIns
+		s.AutoscaleRejected = f.asRejected
+		var reps int64
+		for _, p := range f.order {
+			if !p.gone && p.parent != nil {
+				reps++
+			}
+		}
+		if s.AutoscaleScaleOuts-s.AutoscaleScaleIns != reps {
+			return fmt.Errorf("fleet: autoscale replica ledger mismatch: %d out - %d in != %d live",
+				s.AutoscaleScaleOuts, s.AutoscaleScaleIns, reps)
+		}
+	}
 	if f.cfg.Serving.Enabled {
 		for _, sh := range f.shards {
 			s.RequestsOffered += sh.servOffered
 			s.RequestsCompleted += sh.servCompleted
 			s.RequestsAbandoned += sh.servAbandoned
+			s.RequestsRetried += sh.servRetried
 			s.RequestsInFlight += sh.servInFlight
 		}
 		var all serve.Histogram

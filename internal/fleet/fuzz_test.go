@@ -6,8 +6,10 @@ import (
 	"strings"
 	"testing"
 
+	"pasched/internal/autoscale"
 	"pasched/internal/obs"
 	"pasched/internal/sim"
+	"pasched/internal/workload"
 )
 
 // FuzzParseTrace hammers the fleet trace parser with hostile input: the
@@ -231,6 +233,80 @@ func FuzzObsShardEquivalence(f *testing.F) {
 		}
 		if !reflect.DeepEqual(gotEv, wantEv) {
 			t.Fatalf("shards=%d workers=%d: event stream differs from 1x1 (%d vs %d events)",
+				1+int(shards)%7, 1+int(workers)%4, len(gotEv), len(wantEv))
+		}
+	})
+}
+
+// FuzzAutoscaleShardEquivalence closes the differential-fuzz family
+// over the elastic loop: with the ditto autoscaler resizing caps,
+// spawning and retiring replicas, and repartitioning arrival streams
+// mid-run, an arbitrary shard/worker split must still produce a report
+// and event stream DeepEqual-bit-exact to the single-shard,
+// single-worker run.
+func FuzzAutoscaleShardEquivalence(f *testing.F) {
+	f.Add(uint64(5), uint8(40), uint8(30), uint8(3), uint8(2))
+	f.Add(uint64(17), uint8(60), uint8(15), uint8(7), uint8(4))
+	f.Add(uint64(41), uint8(25), uint8(60), uint8(2), uint8(1))
+	f.Add(uint64(73), uint8(50), uint8(20), uint8(5), uint8(3))
+
+	f.Fuzz(func(t *testing.T, seed uint64, arrivals, life, shards, workers uint8) {
+		horizon := 120 * sim.Second
+		tr, err := Generate(GenConfig{
+			Seed:         seed,
+			Arrivals:     5 + int(arrivals%56),
+			Horizon:      horizon,
+			MeanLifetime: sim.Time(10+int(life)%80) * sim.Second,
+			BaseActivity: 0.9,
+			SegmentLen:   30 * sim.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := func(s, w int) Config {
+			return Config{
+				Machines:         testMachines(4, 2),
+				UsePAS:           true,
+				Policy:           NewBestFit(),
+				ReportEvery:      15 * sim.Second,
+				ConsolidateEvery: 15 * sim.Second,
+				Shards:           s,
+				Workers:          w,
+				Seed:             seed,
+				// Full-cost requests so credit throttling turns into
+				// queueing the policies can see (see autoscale_test.go).
+				Serving: ServingConfig{Enabled: true, RequestCost: workload.DefaultRequestCost},
+				Obs:     ObsConfig{Enabled: true, Buffer: true},
+				Autoscale: AutoscaleConfig{
+					Enabled: true,
+					Policy:  "ditto",
+					Params: autoscale.Params{
+						MaxCapPct:          30,
+						MaxReplicas:        3,
+						CappedHighPermille: 10,
+					},
+				},
+			}
+		}
+		run := func(s, w int) (*Report, []obs.Event) {
+			fl, err := New(cfg(s, w), tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := fl.Run(horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rep, fl.ObsEvents()
+		}
+		want, wantEv := run(1, 1)
+		got, gotEv := run(1+int(shards)%7, 1+int(workers)%4)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d workers=%d: autoscaled report differs from 1x1:\n%+v\nvs\n%+v",
+				1+int(shards)%7, 1+int(workers)%4, got.Summary, want.Summary)
+		}
+		if !reflect.DeepEqual(gotEv, wantEv) {
+			t.Fatalf("shards=%d workers=%d: autoscaled event stream differs from 1x1 (%d vs %d events)",
 				1+int(shards)%7, 1+int(workers)%4, len(gotEv), len(wantEv))
 		}
 	})

@@ -108,13 +108,16 @@ type Summary struct {
 	VMsBelow95 int     `json:"vms_below_95pct"`
 
 	// Serving totals (zero unless Config.Serving is enabled): every
-	// offered request either completed, was abandoned when its VM
-	// departed, or was still queued or in service at the horizon —
-	// RequestsOffered == RequestsCompleted + RequestsAbandoned +
+	// offered request either completed, abandoned (its deadline expired
+	// with retries exhausted, or its VM departed), expired and was
+	// re-issued (each retry is a fresh offered request), or was still
+	// queued or in service at the horizon — RequestsOffered ==
+	// RequestsCompleted + RequestsAbandoned + RequestsRetried +
 	// RequestsInFlight.
 	RequestsOffered   int64 `json:"requests_offered,omitempty"`
 	RequestsCompleted int64 `json:"requests_completed,omitempty"`
 	RequestsAbandoned int64 `json:"requests_abandoned,omitempty"`
+	RequestsRetried   int64 `json:"requests_retried,omitempty"`
 	RequestsInFlight  int64 `json:"requests_in_flight,omitempty"`
 	// Fleet-wide reply-latency summary in milliseconds: histogram
 	// percentiles (relative quantization error <= 1/32 above 64 us) and
@@ -140,6 +143,17 @@ type Summary struct {
 	LedgerContendedUs   int64 `json:"ledger_contended_us,omitempty"`
 	LedgerMigratingUs   int64 `json:"ledger_migrating_us,omitempty"`
 	LedgerIdleUs        int64 `json:"ledger_idle_us,omitempty"`
+
+	// Autoscaler decision totals (zero unless Config.Autoscale is
+	// enabled): applied cap/overhead resizes, replica scale-outs and
+	// scale-ins, and decisions dropped at application time (no headroom
+	// to grant, placement rejection, or a stale target). ScaleOuts minus
+	// ScaleIns is the number of replicas live at the horizon, enforced
+	// at finalize.
+	AutoscaleResizes   int64 `json:"autoscale_resizes,omitempty"`
+	AutoscaleScaleOuts int64 `json:"autoscale_scale_outs,omitempty"`
+	AutoscaleScaleIns  int64 `json:"autoscale_scale_ins,omitempty"`
+	AutoscaleRejected  int64 `json:"autoscale_rejected,omitempty"`
 
 	// BatchedQuanta and SteppedQuanta aggregate the engines'
 	// introspection across machines: how much of the run the

@@ -2,11 +2,13 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"pasched/internal/energy"
 	"pasched/internal/host"
 	"pasched/internal/obs"
+	"pasched/internal/sched"
 	"pasched/internal/serve"
 	"pasched/internal/sim"
 	"pasched/internal/vm"
@@ -33,6 +35,14 @@ type dataVM struct {
 	class     int32
 	serveSeed uint64
 	srv       *serve.Server
+	// replica stream-splitting (autoscaler-created VMs only): the full
+	// parent phase profile the server replays, the share of the arrival
+	// indices this member admits, and whether construction fast-forwards
+	// past the group's already-served history.
+	servePhases []workload.Phase
+	share       int32
+	shares      int32
+	ff          bool
 	// prevDemanded/prevAttained are the portions already folded into the
 	// owning shard's interval partials.
 	prevDemanded sim.Work
@@ -86,7 +96,27 @@ const (
 	// command time first, so earlier wait time keeps its original
 	// classification.
 	cmdObsMigMark
+	// cmdResize applies one autoscaler action to a resident VM: a credit
+	// cap (or weight) change through the scheduler's resize surface, an
+	// overhead-share change, or an arrival-stream share renumbering.
+	cmdResize
 )
+
+// resize ops carried by cmdResize.
+const (
+	rzCap uint8 = iota + 1
+	rzOverhead
+	rzShare
+)
+
+// resizeArgs are cmdResize's operands.
+type resizeArgs struct {
+	op       uint8
+	capPct   float64 // rzCap
+	permille int64   // rzOverhead
+	share    int32   // rzShare
+	shares   int32
+}
 
 // command is one timestamped data-plane operation. The coordinator
 // enqueues commands in its deterministic control order; each shard
@@ -100,6 +130,7 @@ type command struct {
 	out  *VMOutcome
 	ch   chan *dataVM    // migration hand-off (buffered, capacity 1)
 	wg   *sync.WaitGroup // barrier/join acknowledgement
+	rz   resizeArgs      // cmdResize operands
 }
 
 // cmdQueue is a shard worker's mailbox: the coordinator appends, the
@@ -203,6 +234,7 @@ type shard struct {
 	servOffered   int64
 	servCompleted int64
 	servAbandoned int64
+	servRetried   int64
 	servInFlight  int64
 
 	// flight-recorder lanes (Config.Obs only): one emitting handle per
@@ -322,7 +354,70 @@ func (s *shard) exec(c *command) {
 			}
 			c.d.led.Migrating = true
 		}
+	case cmdResize:
+		if s.err == nil {
+			s.execResize(c)
+		}
 	}
+}
+
+// execResize applies one autoscaler action to a resident VM.
+func (s *shard) execResize(c *command) {
+	if err := s.sync(c.slot, c.at); err != nil {
+		s.fail(err)
+		return
+	}
+	d := c.d
+	switch c.rz.op {
+	case rzCap:
+		// Keep the booked credit on the dataVM so a later migration
+		// re-attaches the guest at its resized cap, not the contract.
+		d.credit = c.rz.capPct
+		var err error
+		switch sc := s.hosts[c.slot].Scheduler().(type) {
+		case sched.CapSetter:
+			err = sc.SetCap(d.guest.ID(), c.rz.capPct)
+		case weightSetter:
+			err = sc.SetWeight(d.guest.ID(), weightForCap(c.rz.capPct))
+		}
+		if err != nil {
+			s.fail(fmt.Errorf("fleet: resize %s: %w", d.name, err))
+		}
+	case rzOverhead:
+		if d.srv != nil {
+			if err := d.srv.SetOverheadPermille(c.rz.permille); err != nil {
+				s.fail(fmt.Errorf("fleet: resize %s: %w", d.name, err))
+			}
+		}
+	case rzShare:
+		if d.srv != nil {
+			if err := d.srv.SetShare(int(c.rz.share), int(c.rz.shares)); err != nil {
+				s.fail(fmt.Errorf("fleet: resize %s: %w", d.name, err))
+			}
+		}
+	default:
+		s.fail(fmt.Errorf("fleet: resize %s: unknown op %d", d.name, c.rz.op))
+	}
+}
+
+// weightSetter is the resize surface of weight-based schedulers
+// (credit2 has no caps; a cap change maps onto its weight, mirroring
+// how pas-credit2 books credits as weights).
+type weightSetter interface {
+	SetWeight(id vm.ID, w int64) error
+}
+
+// weightForCap maps a credit percentage onto a credit2 weight exactly
+// as core.PASCredit2 does, clamped to credit2's accepted range.
+func weightForCap(pct float64) int64 {
+	w := int64(math.Round(pct))
+	if w < 1 {
+		w = 1
+	}
+	if w > 4096 {
+		w = 4096
+	}
+	return w
 }
 
 // sync advances one machine's host to the command time. Machines lag
@@ -375,13 +470,29 @@ func (s *shard) execAddVM(c *command) {
 		return
 	}
 	if s.f.cfg.Serving.Enabled {
+		sc := &s.f.cfg.Serving
+		phases := d.phases
+		if d.servePhases != nil {
+			// Autoscaled replica: replay the parent's full stream (same
+			// seed) and admit only this member's share of it.
+			phases = d.servePhases
+		}
 		srv, err := serve.New(serve.Config{
-			Slots:         s.f.cfg.Serving.Slots,
-			RequestCost:   s.f.cfg.Serving.RequestCost,
-			Phases:        d.phases,
-			Deterministic: d.deterministic,
-			Seed:          d.serveSeed,
-			Start:         c.at,
+			Slots:            sc.Slots,
+			RequestCost:      sc.RequestCost,
+			Phases:           phases,
+			Deterministic:    d.deterministic,
+			Seed:             d.serveSeed,
+			Start:            c.at,
+			OverheadPermille: sc.OverheadPermille,
+			ClosedLoop:       sc.ClosedLoop,
+			Clients:          sc.Clients,
+			ThinkTime:        sc.ThinkTime,
+			AbandonAfter:     sc.AbandonAfter,
+			RetryMax:         sc.RetryMax,
+			Share:            int(d.share),
+			Shares:           int(d.shares),
+			FastForward:      d.ff,
 		})
 		if err != nil {
 			s.fail(fmt.Errorf("fleet: VM %s serving: %w", d.name, err))
@@ -509,6 +620,7 @@ func (s *shard) takeServing(d *dataVM, out *VMOutcome, live bool) {
 		return
 	}
 	off, comp := d.srv.Offered(), d.srv.Completed()
+	ab, ret := d.srv.Abandoned(), d.srv.Retried()
 	out.ReqOffered = off
 	out.ReqCompleted = comp
 	if comp > 0 {
@@ -517,10 +629,12 @@ func (s *shard) takeServing(d *dataVM, out *VMOutcome, live bool) {
 	}
 	s.servOffered += off
 	s.servCompleted += comp
+	s.servAbandoned += ab
+	s.servRetried += ret
 	if live {
-		s.servInFlight += off - comp
+		s.servInFlight += off - comp - ab - ret
 	} else {
-		s.servAbandoned += off - comp
+		s.servAbandoned += off - comp - ab - ret
 	}
 }
 

@@ -901,6 +901,14 @@ func (h *Host) TraceExhausted(now sim.Time, v *vm.VM) {
 	}
 }
 
+// TraceRecompensate implements sched.RecompensateTracer: a frequency
+// change rewrote the enforced caps of vms VMs (Listing 1.2).
+func (h *Host) TraceRecompensate(now sim.Time, freqMHz, vms int64) {
+	if h.obs != nil {
+		h.obs.Emit(now, obs.KindRecompensate, "", freqMHz, vms)
+	}
+}
+
 // capReader returns the function used to read per-VM caps for the traces:
 // the enforced (frequency-compensated) cap when the scheduler reports one,
 // otherwise the plain cap, otherwise nil.

@@ -327,11 +327,18 @@ func (c *Cluster) apply(cs *coreState, f cpufreq.Freq) {
 			if init <= 0 {
 				continue
 			}
+			// A failed compensation or a rejected cap would silently leave
+			// the VM capped for the old frequency. init > 0 was checked,
+			// ratio and cf come from the validated ladder, and every id was
+			// registered via AddVM, so both are impossible; enforce it.
 			newCredit, err := core.CompensatedCredit(init, ratio, cf)
 			if err != nil {
-				continue
+				panic(fmt.Sprintf("multicore: recompensation for VM %d (init %v, ratio %v, cf %v): %v",
+					id, init, ratio, cf, err))
 			}
-			_ = cs.capper.SetCap(id, newCredit) // ids registered via AddVM
+			if err := cs.capper.SetCap(id, newCredit); err != nil {
+				panic(fmt.Sprintf("multicore: recompensated cap for VM %d rejected: %v", id, err))
+			}
 		}
 	}
 	if f != cs.cpu.Freq() {

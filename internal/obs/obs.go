@@ -82,25 +82,35 @@ const (
 	// KindLatency samples the fleet-wide interval reply latency at a
 	// reporting barrier; A is p50 in microseconds, B is p99.
 	KindLatency
+	// KindRecompensate records a frequency-change credit recompensation
+	// (Listing 1.2): A is the new frequency in MHz, B is the number of
+	// VMs whose caps were rewritten.
+	KindRecompensate
+	// KindAutoscale records an autoscaler resize decision on the
+	// coordinator lane; A encodes the action kind, B its argument
+	// (new cap percentage, overhead permille, or replica ordinal).
+	KindAutoscale
 )
 
 // kindNames maps Kind to a stable display name.
 var kindNames = [...]string{
-	KindVMState:    "vmstate",
-	KindPState:     "pstate",
-	KindRefill:     "refill",
-	KindExhausted:  "exhausted",
-	KindPattern:    "pattern",
-	KindBoundary:   "boundary",
-	KindQueueDepth: "queue",
-	KindPlace:      "place",
-	KindReject:     "reject",
-	KindMigStart:   "mig-start",
-	KindMigDone:    "mig-done",
-	KindPowerOn:    "power-on",
-	KindPowerOff:   "power-off",
-	KindBarrier:    "barrier",
-	KindLatency:    "latency",
+	KindVMState:      "vmstate",
+	KindPState:       "pstate",
+	KindRefill:       "refill",
+	KindExhausted:    "exhausted",
+	KindPattern:      "pattern",
+	KindBoundary:     "boundary",
+	KindQueueDepth:   "queue",
+	KindPlace:        "place",
+	KindReject:       "reject",
+	KindMigStart:     "mig-start",
+	KindMigDone:      "mig-done",
+	KindPowerOn:      "power-on",
+	KindPowerOff:     "power-off",
+	KindBarrier:      "barrier",
+	KindLatency:      "latency",
+	KindRecompensate: "recompensate",
+	KindAutoscale:    "autoscale",
 }
 
 // String returns the kind's stable display name.

@@ -213,6 +213,10 @@ func (p *PerfettoWriter) Events(window []Event) error {
 		case KindLatency:
 			p.counter(e.Lane, p50Name, e.At, e.A)
 			p.counter(e.Lane, p99Name, e.At, e.B)
+		case KindRecompensate:
+			p.instant(e.Lane, 0, "recompensate", e.At, fmt.Sprintf(`"mhz":%d,"vms":%d`, e.A, e.B))
+		case KindAutoscale:
+			p.instant(e.Lane, 0, "autoscale", e.At, fmt.Sprintf(`"vm":%s,"action":%d,"value":%d`, mustJSON(e.VM), e.A, e.B))
 		}
 	}
 	return p.err

@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"reflect"
+	"testing"
+
+	"pasched/internal/sim"
+	"pasched/internal/workload"
+)
+
+// TestServeQueueShrinksAfterBurst: one deep burst must not pin its
+// high-watermark backing array for the VM's lifetime — after the queue
+// drains, the backing capacity shrinks back toward the live length.
+func TestServeQueueShrinksAfterBurst(t *testing.T) {
+	// Deterministic 10k req/s for 1 s with no attained work: everything
+	// after the slots fill queues up.
+	s := mustServer(t, 1, 100, 10000, sim.Second)
+	var h Histogram
+	s.Advance(sim.Second, 0, &h)
+	if s.Queued() < 5000 {
+		t.Fatalf("vacuous: burst queued only %d", s.Queued())
+	}
+	peak := cap(s.queue)
+	// Drain the whole queue: plenty of attained work over a long span.
+	s.Advance(10*sim.Second, sim.WorkFromUnits(100*20000), &h)
+	if s.Queued() != 0 {
+		t.Fatalf("queue not drained: %d left", s.Queued())
+	}
+	if c := cap(s.queue); c >= peak/4 {
+		t.Fatalf("backing array not released: cap %d after drain (peak %d)", c, peak)
+	}
+}
+
+// closedCfg is the shared closed-loop test population: more clients
+// than slots and a service demand near the abandonment deadline, so
+// completions, expiries and retries all occur.
+func closedCfg(seed uint64) Config {
+	return Config{
+		Slots:        2,
+		RequestCost:  500, // 5e5 milli-units; at 2 milli/us/slot: 250 ms service
+		ClosedLoop:   true,
+		Clients:      16,
+		ThinkTime:    100 * sim.Millisecond,
+		AbandonAfter: 300 * sim.Millisecond,
+		RetryMax:     1,
+		Seed:         seed,
+	}
+}
+
+// TestClosedLoopConservation: after every span,
+// offered == completed + abandoned + retried + inflight, with all four
+// outcome classes non-trivially exercised.
+func TestClosedLoopConservation(t *testing.T) {
+	s, err := New(closedCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h Histogram
+	// Alternate starved and fed spans so queues build and drain.
+	for i := 0; i < 40; i++ {
+		to := sim.Time(i+1) * 500 * sim.Millisecond
+		var att sim.Work
+		if i%2 == 1 {
+			att = sim.Work(4 * int64(500*sim.Millisecond)) // 2 milli/us/slot
+		}
+		s.Advance(to, att, &h)
+		got := s.Completed() + s.Abandoned() + s.Retried() + s.InFlight()
+		if s.Offered() != got {
+			t.Fatalf("span %d: offered %d != completed %d + abandoned %d + retried %d + inflight %d",
+				i, s.Offered(), s.Completed(), s.Abandoned(), s.Retried(), s.InFlight())
+		}
+	}
+	if s.Completed() == 0 || s.Abandoned() == 0 || s.Retried() == 0 {
+		t.Fatalf("vacuous: completed/abandoned/retried = %d/%d/%d",
+			s.Completed(), s.Abandoned(), s.Retried())
+	}
+	if int64(h.Count()) != s.Completed() {
+		t.Fatalf("histogram count %d != completed %d", h.Count(), s.Completed())
+	}
+}
+
+// TestClosedLoopSlicingInvariance: with a uniform attained rate that is
+// integral per slot (every capacity floor exact), the seeded think-time
+// process and every outcome counter must be bit-identical no matter how
+// the span is sliced — the property the fleet's sharding-equivalence
+// rests on.
+func TestClosedLoopSlicingInvariance(t *testing.T) {
+	mk := func() *Server {
+		s, err := New(closedCfg(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	one, many := mk(), mk()
+	var hOne, hMany Histogram
+	const rate = 4 // milli-units per us whole-VM: integer per slot
+	one.Advance(20*sim.Second, sim.Work(rate*20*int64(sim.Second)), &hOne)
+	for t0 := sim.Time(0); t0 < 20*sim.Second; t0 += 125 * sim.Millisecond {
+		many.Advance(t0+125*sim.Millisecond, sim.Work(rate*int64(125*sim.Millisecond)), &hMany)
+	}
+	if one.Offered() != many.Offered() || one.Completed() != many.Completed() ||
+		one.Abandoned() != many.Abandoned() || one.Retried() != many.Retried() {
+		t.Fatalf("slicing diverged: %d/%d/%d/%d vs %d/%d/%d/%d (offered/completed/abandoned/retried)",
+			one.Offered(), one.Completed(), one.Abandoned(), one.Retried(),
+			many.Offered(), many.Completed(), many.Abandoned(), many.Retried())
+	}
+	if one.SumLatencyUs() != many.SumLatencyUs() || one.MaxLatencyUs() != many.MaxLatencyUs() {
+		t.Fatalf("slicing diverged on latency: sum %d vs %d, max %d vs %d",
+			one.SumLatencyUs(), many.SumLatencyUs(), one.MaxLatencyUs(), many.MaxLatencyUs())
+	}
+	if !reflect.DeepEqual(hOne, hMany) {
+		t.Fatal("slicing diverged on histograms")
+	}
+	if one.Completed() == 0 || one.Abandoned() == 0 {
+		t.Fatalf("vacuous: completed/abandoned = %d/%d", one.Completed(), one.Abandoned())
+	}
+}
+
+// TestClosedLoopSeededDeterminism: same seed, same trajectory; a
+// different seed moves the exponential think draws.
+func TestClosedLoopSeededDeterminism(t *testing.T) {
+	run := func(seed uint64) (int64, int64) {
+		s, err := New(closedCfg(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h Histogram
+		s.Advance(20*sim.Second, sim.Work(4*20*int64(sim.Second)), &h)
+		return s.Completed(), s.SumLatencyUs()
+	}
+	c1, l1 := run(5)
+	c2, l2 := run(5)
+	if c1 != c2 || l1 != l2 {
+		t.Fatalf("same seed diverged: %d/%d vs %d/%d", c1, l1, c2, l2)
+	}
+	c3, l3 := run(6)
+	if c1 == c3 && l1 == l3 {
+		t.Fatal("different seeds produced identical trajectories")
+	}
+}
+
+// TestOverheadConsumer: the emulator/IO share comes off the cumulative
+// attained ledger exactly, slows service accordingly, and is invariant
+// to fold slicing.
+func TestOverheadConsumer(t *testing.T) {
+	mk := func(permille int64) *Server {
+		s, err := New(Config{
+			Slots:            2,
+			RequestCost:      500,
+			Phases:           []workload.Phase{{Start: 0, End: 20 * sim.Second, Rate: 7}},
+			Deterministic:    true,
+			OverheadPermille: permille,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	var hPlain, hOne, hMany Histogram
+	const rate = 4
+	total := sim.Work(rate * 20 * int64(sim.Second))
+	plain := mk(0)
+	plain.Advance(20*sim.Second, total, &hPlain)
+
+	one, many := mk(250), mk(250)
+	one.Advance(20*sim.Second, total, &hOne)
+	for t0 := sim.Time(0); t0 < 20*sim.Second; t0 += 333 * sim.Millisecond {
+		to := t0 + 333*sim.Millisecond
+		if to > 20*sim.Second {
+			to = 20 * sim.Second
+		}
+		many.Advance(to, sim.Work(rate*int64(to-t0)), &hMany)
+	}
+	if want := sim.Work(int64(total) * 250 / 1000); one.OverheadWork() != want {
+		t.Fatalf("overhead took %d, want exactly %d", one.OverheadWork(), want)
+	}
+	if one.OverheadWork() != many.OverheadWork() || one.Completed() != many.Completed() ||
+		one.SumLatencyUs() != many.SumLatencyUs() || !reflect.DeepEqual(hOne, hMany) {
+		t.Fatalf("overhead deduction depends on slicing: work %d vs %d, completed %d vs %d",
+			one.OverheadWork(), many.OverheadWork(), one.Completed(), many.Completed())
+	}
+	if plain.SumLatencyUs() >= one.SumLatencyUs() {
+		t.Fatalf("vacuous: 25%% overhead did not slow service (plain %d us, overhead %d us)",
+			plain.SumLatencyUs(), one.SumLatencyUs())
+	}
+}
+
+// TestShareSplitPartition: replica share-splitting partitions one
+// seeded arrival stream exactly — every arrival is offered to exactly
+// one member, and a fast-forwarded late joiner sees exactly the
+// arrivals after its start.
+func TestShareSplitPartition(t *testing.T) {
+	phases := []workload.Phase{{Start: 0, End: 20 * sim.Second, Rate: 40}}
+	mk := func(share, shares int, start sim.Time, ff bool) *Server {
+		s, err := New(Config{
+			Phases: phases, Seed: 99,
+			Share: share, Shares: shares,
+			Start: start, FastForward: ff,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	var h Histogram
+	whole := mk(0, 1, 0, false)
+	whole.Advance(20*sim.Second, 0, &h)
+	total := whole.Offered()
+	if total == 0 {
+		t.Fatal("vacuous: no arrivals")
+	}
+
+	s0, s1 := mk(0, 2, 0, false), mk(1, 2, 0, false)
+	s0.Advance(20*sim.Second, 0, &h)
+	s1.Advance(20*sim.Second, 0, &h)
+	if s0.Offered()+s1.Offered() != total {
+		t.Fatalf("split lost arrivals: %d + %d != %d", s0.Offered(), s1.Offered(), total)
+	}
+	if s0.Offered() == 0 || s1.Offered() == 0 {
+		t.Fatalf("vacuous split: %d / %d", s0.Offered(), s1.Offered())
+	}
+
+	head := mk(0, 1, 0, false)
+	head.Advance(10*sim.Second, 0, &h)
+	late := mk(0, 1, 10*sim.Second, true)
+	late.Advance(20*sim.Second, 0, &h)
+	if head.Offered()+late.Offered() != total {
+		t.Fatalf("fast-forward misaligned: %d + %d != %d", head.Offered(), late.Offered(), total)
+	}
+}
+
+// TestClosedLoopValidation covers the new configuration rejections.
+func TestClosedLoopValidation(t *testing.T) {
+	base := closedCfg(1)
+	for name, mut := range map[string]func(*Config){
+		"no clients":          func(c *Config) { c.Clients = 0 },
+		"negative think":      func(c *Config) { c.ThinkTime = -1 },
+		"retry sans deadline": func(c *Config) { c.AbandonAfter = 0 },
+		"closed split":        func(c *Config) { c.Shares = 2 },
+		"overhead too big":    func(c *Config) { c.OverheadPermille = 1000 },
+		"bad share":           func(c *Config) { c.ClosedLoop = false; c.Share = 2; c.Shares = 2 },
+	} {
+		cfg := base
+		mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	s, err := New(closedCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetShare(0, 2); err == nil {
+		t.Error("SetShare on closed-loop server accepted")
+	}
+	if err := s.SetOverheadPermille(1000); err == nil {
+		t.Error("SetOverheadPermille(1000) accepted")
+	}
+}
