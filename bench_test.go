@@ -284,6 +284,38 @@ func BenchmarkFleetRun(b *testing.B) {
 		}
 		benchFleet(b, trace, cfg, horizon)
 	})
+	// stream repeats s1 with the trace delivered through the pull-based
+	// streaming source instead of a materialized Trace: generator events
+	// are produced lazily inside Run, so this gates the one-event
+	// lookahead, per-event validation and lane-RNG reconstruction against
+	// the plain s1 numbers.
+	b.Run("stream", func(b *testing.B) {
+		cfg := base
+		cfg.Shards, cfg.Workers = 1, 1
+		gen := fleet.GenConfig{Seed: 42, Arrivals: 1000, Horizon: horizon}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var rep *fleet.Report
+		for i := 0; i < b.N; i++ {
+			src, err := fleet.GenerateStream(gen)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fl, err := fleet.NewStream(cfg, src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err = fl.Run(horizon)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Summary.Arrived == 0 || rep.Summary.BatchedQuanta == 0 {
+				b.Fatalf("vacuous fleet run: %+v", rep.Summary)
+			}
+		}
+		b.ReportMetric(float64(rep.Summary.BatchedQuanta), "batched_quanta/op")
+		b.ReportMetric(rep.Summary.OverallSLA*100, "overall_sla_pct")
+	})
 	b.Run("large", func(b *testing.B) {
 		const largeHorizon = 300 * sim.Second
 		largeTrace, err := fleet.Generate(fleet.GenConfig{

@@ -10,6 +10,7 @@
 //	pasfleet -vmtrace trace.csv -sched credit -csv intervals.csv -json report.json
 //	pasfleet -arrivals 200 -write-trace trace.csv
 //	pasfleet -machines 1000000 -shards 8 -stream csv:intervals.csv -no-report
+//	pasfleet -machines 100000 -arrivals 10000000 -gen-stream -stream jsonl -no-report
 //	pasfleet -serve -report 2 -sched credit2   # request latency percentiles
 //	pasfleet -trace perfetto:run.json -status  # flight recorder + heartbeat
 //
@@ -26,7 +27,10 @@
 // Large estates run sharded (-shards, -workers) with streaming output
 // (-stream) so memory stays proportional to the live fleet, not to the
 // run's history. The report — and the recorder's event stream — is
-// bit-identical for every shard and worker count.
+// bit-identical for every shard and worker count. -gen-stream generates
+// the synthetic trace lazily (and -vmtrace always reads its CSV
+// lazily), so trace memory is O(1) too: a 10M-arrival run holds only
+// the machines and the live VMs.
 //
 // Exit status is non-zero on simulation errors, making the command
 // usable as a smoke gate in CI.
@@ -42,6 +46,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -66,6 +71,8 @@ func run(args []string, out, errOut io.Writer) int {
 		arrivals    = fs.Int("arrivals", 1000, "number of VM lifecycles to generate")
 		horizon     = fs.Float64("horizon", 600, "simulated horizon in seconds")
 		seed        = fs.Uint64("seed", 42, "trace and workload seed")
+		genStream   = fs.Bool("gen-stream", false, "generate the synthetic trace lazily and stream it into the run (memory stays O(machines + live VMs))")
+		lifetime    = fs.Float64("lifetime", 0, "mean VM lifetime in seconds (0 = horizon/10); shorter lifetimes bound the live population of arrival-heavy runs")
 		policyName  = fs.String("policy", "first-fit", "placement policy: first-fit, best-fit or dvfs-aware")
 		schedName   = fs.String("sched", "pas", "per-machine scheduler: "+fleet.SchedulerNames())
 		serve       = fs.Bool("serve", false, "enable the request-level serving layer (per-VM clients, reply-latency percentiles)")
@@ -122,6 +129,14 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintf(errOut, "pasfleet: invalid trace spec %q (accepted: perfetto, perfetto:path)\n", *traceSpec)
 		return 2
 	}
+	if *lifetime < 0 {
+		fmt.Fprintf(errOut, "pasfleet: invalid mean lifetime %g (accepted: 0 for horizon/10, or a positive duration in seconds)\n", *lifetime)
+		return 2
+	}
+	if *genStream && *vmTracePath != "" {
+		fmt.Fprintln(errOut, "pasfleet: -gen-stream conflicts with -vmtrace (the trace is read, not generated)")
+		return 2
+	}
 	if *noReport && *stream == "" && *csvPath == "" && *jsonPath == "" {
 		fmt.Fprintln(errOut, "pasfleet: -no-report without -stream discards every result; add -stream csv[:path] or jsonl[:path]")
 		return 2
@@ -175,33 +190,54 @@ func run(args []string, out, errOut io.Writer) int {
 		}()
 	}
 
+	// The trace flows into the run as a pull-based source. -vmtrace and
+	// -gen-stream never materialize the event list — CSV rows (or
+	// generator output) stream straight into the fleet as Run pulls them
+	// — so trace memory stays O(1) regardless of arrival count. The
+	// default generator path still materializes, preserving the exact
+	// historical behavior (and error timing) of small runs.
+	genCfg := fleet.GenConfig{
+		Seed:         *seed,
+		Arrivals:     *arrivals,
+		Horizon:      sim.FromSeconds(*horizon),
+		MeanLifetime: sim.FromSeconds(*lifetime),
+	}
 	var tr *fleet.Trace
+	var src fleet.TraceSource
 	var err error
-	if *vmTracePath != "" {
+	switch {
+	case *vmTracePath != "":
 		f, ferr := os.Open(*vmTracePath)
 		if ferr != nil {
 			fmt.Fprintln(errOut, ferr)
 			return 1
 		}
-		tr, err = fleet.ParseTrace(f)
-		f.Close()
-	} else {
-		tr, err = fleet.Generate(fleet.GenConfig{
-			Seed:     *seed,
-			Arrivals: *arrivals,
-			Horizon:  sim.FromSeconds(*horizon),
-		})
+		defer f.Close() // the source reads rows lazily during Run
+		src, err = fleet.ParseTraceStream(f)
+	case *genStream:
+		src, err = fleet.GenerateStream(genCfg)
+	default:
+		tr, err = fleet.Generate(genCfg)
 	}
 	if err != nil {
 		fmt.Fprintln(errOut, err)
 		return 1
 	}
 	if *writeTrace != "" {
-		if err := writeFile(*writeTrace, tr.WriteCSV); err != nil {
+		if src == nil {
+			src = tr.Source()
+		}
+		if err := writeFile(*writeTrace, func(w io.Writer) error {
+			return fleet.WriteCSVStream(src, w)
+		}); err != nil {
 			fmt.Fprintln(errOut, err)
 			return 1
 		}
-		fmt.Fprintf(out, "wrote %d VM lifecycles to %s\n", len(tr.Events), *writeTrace)
+		if tr != nil {
+			fmt.Fprintf(out, "wrote %d VM lifecycles to %s\n", len(tr.Events), *writeTrace)
+		} else {
+			fmt.Fprintf(out, "streamed VM lifecycle trace to %s\n", *writeTrace)
+		}
 		return 0
 	}
 
@@ -244,7 +280,7 @@ func run(args []string, out, errOut io.Writer) int {
 		obsCfg = fleet.ObsConfig{Enabled: true, Sink: obs.NewPerfettoWriter(traceFile)}
 	}
 
-	fl, err := fleet.New(fleet.Config{
+	fleetCfg := fleet.Config{
 		Machines:         fleet.DefaultEstate(*machines),
 		Scheduler:        *schedName,
 		Policy:           policy,
@@ -266,7 +302,13 @@ func run(args []string, out, errOut io.Writer) int {
 				MaxReplicas: *autoMaxRep,
 			},
 		},
-	}, tr)
+	}
+	var fl *fleet.Fleet
+	if src != nil {
+		fl, err = fleet.NewStream(fleetCfg, src)
+	} else {
+		fl, err = fleet.New(fleetCfg, tr)
+	}
 	if err != nil {
 		fmt.Fprintln(errOut, err)
 		return 1
@@ -474,5 +516,29 @@ func printSummary(out io.Writer, rep *fleet.Report) {
 			float64(s.LedgerContendedUs)/1e6, float64(s.LedgerMigratingUs)/1e6, float64(s.LedgerIdleUs)/1e6))
 	}
 	tb.AddRow("batched / stepped quanta", fmt.Sprintf("%d / %d", s.BatchedQuanta, s.SteppedQuanta))
+	if mb, ok := peakRSSMB(); ok {
+		tb.AddRow("peak RSS (MB)", fmt.Sprintf("%.1f", mb))
+	}
 	fmt.Fprintln(out, tb.Render())
+}
+
+// peakRSSMB reads the process's high-water resident set size from
+// /proc/self/status (VmHWM). Ok is false on platforms without procfs —
+// the summary row is simply omitted there.
+func peakRSSMB() (float64, bool) {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if rest, found := strings.CutPrefix(line, "VmHWM:"); found {
+			fields := strings.Fields(rest)
+			if len(fields) >= 1 {
+				if kb, err := strconv.ParseInt(fields[0], 10, 64); err == nil {
+					return float64(kb) / 1024, true
+				}
+			}
+		}
+	}
+	return 0, false
 }

@@ -49,6 +49,8 @@ func TestFlagValidation(t *testing.T) {
 		{"scheduler", []string{"-sched", "bogus"}, "unknown scheduler"},
 		{"shards", []string{"-shards", "-2"}, "invalid shard count"},
 		{"stream", []string{"-stream", "xml"}, "invalid stream spec"},
+		{"gen-stream vs vmtrace", []string{"-gen-stream", "-vmtrace", "x.csv"}, "-gen-stream conflicts with -vmtrace"},
+		{"lifetime", []string{"-lifetime", "-3"}, "invalid mean lifetime"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -118,6 +120,55 @@ func TestVMTraceRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "Fleet run:") {
 		t.Errorf("no summary from the -vmtrace run:\n%s", out.String())
+	}
+}
+
+// TestGenStreamMatchesMaterialized: the same run through -gen-stream
+// (lazy generator, streamed source) and the default materialized path
+// must print identical summaries, and -gen-stream -write-trace must
+// emit the byte-identical CSV.
+func TestGenStreamMatchesMaterialized(t *testing.T) {
+	args := []string{"-machines", "8", "-arrivals", "40", "-horizon", "60", "-seed", "9"}
+	var matOut, streamOut, errOut bytes.Buffer
+	if code := run(args, &matOut, &errOut); code != 0 {
+		t.Fatalf("materialized exit %d: %s", code, errOut.String())
+	}
+	if code := run(append([]string{"-gen-stream"}, args...), &streamOut, &errOut); code != 0 {
+		t.Fatalf("gen-stream exit %d: %s", code, errOut.String())
+	}
+	// Strip the peak-RSS row: it reflects the process high-water mark, the
+	// one summary quantity that legitimately differs between invocations.
+	strip := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.Contains(line, "peak RSS") {
+				keep = append(keep, line)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(matOut.String()) != strip(streamOut.String()) {
+		t.Errorf("summaries differ:\nmaterialized:\n%s\ngen-stream:\n%s", matOut.String(), streamOut.String())
+	}
+
+	dir := t.TempDir()
+	matCSV, streamCSV := filepath.Join(dir, "mat.csv"), filepath.Join(dir, "stream.csv")
+	if code := run(append([]string{"-write-trace", matCSV}, args...), &matOut, &errOut); code != 0 {
+		t.Fatalf("write-trace exit %d: %s", code, errOut.String())
+	}
+	if code := run(append([]string{"-gen-stream", "-write-trace", streamCSV}, args...), &streamOut, &errOut); code != 0 {
+		t.Fatalf("gen-stream write-trace exit %d: %s", code, errOut.String())
+	}
+	mat, err := os.ReadFile(matCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	str, err := os.ReadFile(streamCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mat, str) {
+		t.Errorf("-write-trace CSVs differ between materialized and streamed generation")
 	}
 }
 

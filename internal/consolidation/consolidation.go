@@ -266,10 +266,12 @@ type HostOptions struct {
 	// Reference forces the reference quantum-by-quantum stepping path
 	// (host.Config.Reference), for batched==reference equivalence tests.
 	Reference bool
-	// SampleEvery overrides the host recorder's sampling interval. Fleet
-	// machines sample at the fleet's reporting cadence instead of every
-	// second, keeping per-host recorder memory flat at thousands of
-	// machines. Zero keeps the host default.
+	// SampleEvery overrides the host recorder's sampling interval.
+	// Zero keeps the host default; negative disables recorder sampling
+	// entirely (fleet machines run this way — the fleet reports its own
+	// interval curves and never reads the per-host recorder, whose
+	// per-VM series would otherwise grow with every VM that ever lived
+	// on the host).
 	SampleEvery sim.Time
 	// Scheduler overrides the usePAS choice with a scheduler by name,
 	// resolved against the scheduler registry (see SchedulerNames for

@@ -476,11 +476,27 @@ func (h timedHeap) top() (sim.Time, bool) {
 // count.
 type Fleet struct {
 	cfg     Config
-	trace   *Trace
 	nmach   int
 	specs   []consolidation.HostSpec // per class, defaults applied
 	caps    []float64                // per class: placeable credit capacity (%)
 	classOf []int32                  // machine -> class index
+
+	// trace source and its one-event lookahead: the fleet pulls arrivals
+	// lazily, validating each event as it surfaces, so a 10M-arrival
+	// trace costs one VMEvent of residency, not a materialized slice.
+	src      TraceSource
+	classes  map[string]VMClass
+	ev       VMEvent // next arrival, valid while evValid
+	evValid  bool
+	evIndex  int      // events pulled so far (error reporting)
+	prevArr  sim.Time // order validation across Next calls
+	prevName string
+
+	// pidx is the placement index answering Policy.Place queries
+	// incrementally for the built-in policies; nil for custom policies
+	// (linear-scan fallback). stateChanged keeps it in sync with every
+	// states[i] mutation.
+	pidx placeIndex
 
 	// serving reduction state (Serving.Enabled only): the VM-class index
 	// the shard histograms are keyed by, the cumulative per-class
@@ -491,7 +507,14 @@ type Fleet struct {
 	latClass   []serve.Histogram
 	ivLat      serve.Histogram
 
-	shards  []*shard
+	shards []*shard
+	// stage pre-partitions data-plane commands per destination shard:
+	// dispatch appends, and a staged run is flushed to the shard's queue
+	// in one batch — when it grows past stageFlushLen, when a command
+	// needs promptness (migration hand-off channels), or at the latest
+	// before the coordinator blocks on a barrier or join. Unused in
+	// inline mode.
+	stage   [][]command
 	gate    *engine.Gate
 	inline  bool // Shards == 1 or Workers == 1: exec commands on the coordinator
 	abort   chan struct{}
@@ -521,7 +544,8 @@ type Fleet struct {
 	everOn  []bool
 
 	vms   map[string]*ctlVM
-	order []*ctlVM // insertion order; compacted at barriers
+	order []*ctlVM // insertion order; compacted at barriers and on churn
+	goneN int      // departed entries still occupying order
 	migs  map[string]*migration
 	migQ  timedHeap
 
@@ -547,7 +571,6 @@ type Fleet struct {
 
 	now     sim.Time
 	horizon sim.Time
-	nextEv  int
 	ran     bool
 
 	// cumulative counters. Energy and work are exact integer sums, so
@@ -589,28 +612,51 @@ type consMove struct {
 	to int
 }
 
-// New builds a fleet from the configuration and the trace. Machines
-// start powered off; hosts are constructed lazily at first power-on, so
-// an estate of a million mostly-idle machines costs bookkeeping arrays,
-// not a million simulated hosts.
+// New builds a fleet from the configuration and a materialized trace,
+// validated in full. Machines start powered off; hosts are constructed
+// lazily at first power-on, so an estate of a million mostly-idle
+// machines costs bookkeeping arrays, not a million simulated hosts.
 func New(cfg Config, trace *Trace) (*Fleet, error) {
+	if err := trace.Validate(); err != nil {
+		return nil, err
+	}
+	return NewStream(cfg, trace.Source())
+}
+
+// NewStream builds a fleet consuming its trace from a streaming source:
+// the fleet never holds more than the one-event lookahead, so peak
+// memory is O(machines + live VMs) regardless of the arrival count.
+// Each event is validated as it is pulled (class, times, activity,
+// (Arrive, Name) order); unlike New, global name uniqueness is only
+// enforced for concurrently live VMs — see the TraceSource contract.
+func NewStream(cfg Config, src TraceSource) (*Fleet, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	if err := trace.Validate(); err != nil {
-		return nil, err
+	if src == nil {
+		return nil, fmt.Errorf("fleet: nil trace source")
+	}
+	if src.Horizon() <= 0 {
+		return nil, fmt.Errorf("fleet: trace horizon %v not positive", src.Horizon())
+	}
+	classes := src.Classes()
+	for _, c := range classes {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	total := 0
 	for _, mc := range cfg.Machines {
 		total += mc.Count
 	}
 	f := &Fleet{
-		cfg:   cfg,
-		trace: trace,
-		nmach: total,
-		vms:   make(map[string]*ctlVM),
-		migs:  make(map[string]*migration),
+		cfg:     cfg,
+		src:     src,
+		classes: classes,
+		nmach:   total,
+		vms:     make(map[string]*ctlVM),
+		migs:    make(map[string]*migration),
 	}
 	f.dataPool.New = func() any { return new(dataVM) }
 	f.specs = make([]consolidation.HostSpec, len(cfg.Machines))
@@ -658,8 +704,8 @@ func New(cfg Config, trace *Trace) (*Fleet, error) {
 	if cfg.Serving.Enabled {
 		// Sorted class names give every run the same class indexing, so
 		// per-class reductions and reports are trace-order-independent.
-		f.classNames = make([]string, 0, len(trace.Classes))
-		for name := range trace.Classes {
+		f.classNames = make([]string, 0, len(classes))
+		for name := range classes {
 			f.classNames = append(f.classNames, name)
 		}
 		sort.Strings(f.classNames)
@@ -711,18 +757,23 @@ func New(cfg Config, trace *Trace) (*Fleet, error) {
 		s.queue.init()
 		f.shards[si] = s
 	}
+	if !f.inline {
+		f.stage = make([][]command, ns)
+	}
+	f.pidx = newPlaceIndex(cfg.Policy, f.states, f.classOf, len(cfg.Machines))
 	return f, nil
 }
 
-// newMachineHost builds one machine host. Fleet machines sample their
-// recorders at the fleet's reporting cadence — at thousands of machines
-// the default 1 s sampling would dominate memory for data the fleet
-// never reads (it reports its own interval curves). mo is the machine's
+// newMachineHost builds one machine host. Fleet machines disable the
+// per-host recorder entirely: the fleet reports its own interval curves
+// from exact integer accumulators and never reads host series, whose
+// per-VM entries would otherwise grow with every VM that ever lived on
+// the host — an O(arrivals) term at trace scale. mo is the machine's
 // flight-recorder lane; nil disables observation for this host.
 func newMachineHost(spec consolidation.HostSpec, cfg Config, mo *obs.MachineObs) (*host.Host, error) {
 	return consolidation.NewHostWithOptions(spec, cfg.UsePAS, consolidation.HostOptions{
 		Reference:   cfg.Reference,
-		SampleEvery: cfg.ReportEvery,
+		SampleEvery: -1,
 		Scheduler:   cfg.Scheduler,
 		Obs:         mo,
 	})
@@ -812,7 +863,16 @@ func (f *Fleet) getCtlVM() *ctlVM {
 	return &ctlVM{}
 }
 
+// poolCap bounds the coordinator free lists: a departure burst can park
+// tens of thousands of recycled slots at once, and an uncapped list
+// would pin that high-water mark for the rest of the run. Beyond the
+// cap, slots fall to the garbage collector.
+const poolCap = 8192
+
 func (f *Fleet) putCtlVM(p *ctlVM) {
+	if len(f.ctlFree) >= poolCap {
+		return
+	}
 	*p = ctlVM{}
 	f.ctlFree = append(f.ctlFree, p)
 }
@@ -846,6 +906,7 @@ func (f *Fleet) reserve(i int, r Request) {
 	st.FreeMemMB -= r.MemoryMB
 	st.FreeCreditPct -= r.CreditPct
 	st.OfferedLoadPct += r.CreditPct * r.MeanActivity
+	f.stateChanged(i)
 }
 
 func (f *Fleet) release(i int, r Request) {
@@ -853,6 +914,25 @@ func (f *Fleet) release(i int, r Request) {
 	st.FreeMemMB += r.MemoryMB
 	st.FreeCreditPct += r.CreditPct
 	st.OfferedLoadPct -= r.CreditPct * r.MeanActivity
+	f.stateChanged(i)
+}
+
+// stateChanged keeps the placement index in sync with states[i]; every
+// mutation site (reserve, release, power cycling) calls it.
+func (f *Fleet) stateChanged(i int) {
+	if f.pidx != nil {
+		f.pidx.update(i)
+	}
+}
+
+// place picks a machine for the request: the incremental index for the
+// built-in policies, the policy's own linear scan otherwise. The two
+// paths return identical decisions (FuzzIndexedPlacement).
+func (f *Fleet) place(r Request) (int, bool) {
+	if f.pidx != nil {
+		return f.pidx.place(r)
+	}
+	return f.cfg.Policy.Place(f.states, r)
 }
 
 // dispatch routes one data-plane command to the owning shard: executed
@@ -861,14 +941,45 @@ func (f *Fleet) release(i int, r Request) {
 // each shard in the coordinator's deterministic (time, seq) order
 // either way.
 func (f *Fleet) dispatch(machine int, c command) error {
-	s := f.shards[machine%len(f.shards)]
+	si := machine % len(f.shards)
 	c.slot = int32(machine / len(f.shards))
 	if f.inline {
+		s := f.shards[si]
 		s.exec(&c)
 		return f.shardErr()
 	}
-	s.queue.push(c)
+	// Stage per destination shard and flush in batches: arrival-heavy
+	// windows then cost one queue lock per run of commands instead of
+	// one per event. Commands carrying a migration hand-off channel
+	// flush immediately — their peer shard may already be blocked on
+	// the channel — and the coordinator flushes everything before it
+	// blocks on a barrier or join.
+	f.stage[si] = append(f.stage[si], c)
+	if c.ch != nil || len(f.stage[si]) >= stageFlushLen {
+		f.flushShard(si)
+	}
 	return nil
+}
+
+// stageFlushLen bounds a shard's staged run before it is force-flushed;
+// past this length batching gains flatten and latency to the worker
+// starts to dominate.
+const stageFlushLen = 256
+
+func (f *Fleet) flushShard(si int) {
+	if len(f.stage[si]) == 0 {
+		return
+	}
+	f.shards[si].queue.pushBatch(f.stage[si])
+	f.stage[si] = f.stage[si][:0]
+}
+
+// flushStaged delivers every staged command; the coordinator calls it
+// before blocking on the shards.
+func (f *Fleet) flushStaged() {
+	for si := range f.stage {
+		f.flushShard(si)
+	}
 }
 
 // shardErr returns the first shard error in shard order, preferring
@@ -898,6 +1009,7 @@ func (f *Fleet) barrier(t sim.Time) error {
 			}
 		}
 	} else {
+		f.flushStaged()
 		var wg sync.WaitGroup
 		wg.Add(len(f.shards))
 		for _, s := range f.shards {
@@ -932,6 +1044,7 @@ func (f *Fleet) barrier(t sim.Time) error {
 // join waits for every shard to drain its queue without folding.
 func (f *Fleet) join() error {
 	if !f.inline {
+		f.flushStaged()
 		var wg sync.WaitGroup
 		wg.Add(len(f.shards))
 		for _, s := range f.shards {
@@ -1001,12 +1114,19 @@ func (f *Fleet) Run(horizon sim.Time) (*Report, error) {
 		nextConsolidate = f.cfg.ConsolidateEvery
 	}
 
+	// Prime the one-event lookahead. A materialized trace was validated
+	// as non-empty by New; a streamed source surfaces emptiness here.
+	if err := f.nextSourceEvent(); err != nil {
+		return nil, err
+	}
+	if !f.evValid {
+		return nil, fmt.Errorf("fleet: trace without VM events")
+	}
+
 	for {
 		t := horizon
-		if f.nextEv < len(f.trace.Events) {
-			if at := f.trace.Events[f.nextEv].Arrive; at < t {
-				t = at
-			}
+		if f.evValid && f.ev.Arrive < t {
+			t = f.ev.Arrive
 		}
 		for _, s := range f.shards {
 			if at, ok := s.departQ.top(); ok && at < t {
@@ -1053,13 +1173,22 @@ func (f *Fleet) Run(horizon sim.Time) (*Report, error) {
 				return nil, err
 			}
 		}
-		for f.nextEv < len(f.trace.Events) && f.trace.Events[f.nextEv].Arrive <= t {
-			ev := &f.trace.Events[f.nextEv]
-			f.nextEv++
+		// Amortized churn compaction: once gone entries dominate the
+		// list, sweep them instead of waiting for the barrier. The
+		// trigger depends only on the (shard-invariant) arrival and
+		// departure sequence, so reports stay bit-exact.
+		if f.goneN >= 4096 && f.goneN*2 >= len(f.order) {
+			f.compactOrder()
+		}
+		for f.evValid && f.ev.Arrive <= t {
+			ev := f.ev
+			if err := f.nextSourceEvent(); err != nil {
+				return nil, err
+			}
 			if ev.Arrive >= horizon {
 				continue
 			}
-			if err := f.arrive(ev); err != nil {
+			if err := f.arrive(&ev); err != nil {
 				return nil, err
 			}
 		}
@@ -1090,6 +1219,47 @@ func (f *Fleet) Run(horizon sim.Time) (*Report, error) {
 	return f.rep, nil
 }
 
+// nextSourceEvent advances the trace lookahead by one event, applying
+// per-event what Trace.Validate checks in bulk: known class, sane
+// times and activity, and the (Arrive, Name) stream order. Global name
+// uniqueness cannot be checked in O(1) memory; arrive rejects a name
+// that is still live.
+func (f *Fleet) nextSourceEvent() error {
+	ev, ok := f.src.Next()
+	if !ok {
+		f.evValid = false
+		return f.src.Err()
+	}
+	i := f.evIndex
+	f.evIndex++
+	if ev.Name == "" {
+		return fmt.Errorf("fleet: event %d without a VM name", i)
+	}
+	if _, known := f.classes[ev.Class]; !known {
+		return fmt.Errorf("fleet: VM %s references unknown class %q", ev.Name, ev.Class)
+	}
+	if ev.Arrive < 0 || ev.Arrive >= f.src.Horizon() {
+		return fmt.Errorf("fleet: VM %s arrives at %v, outside [0, %v)", ev.Name, ev.Arrive, f.src.Horizon())
+	}
+	if ev.Lifetime <= 0 {
+		return fmt.Errorf("fleet: VM %s lifetime %v not positive", ev.Name, ev.Lifetime)
+	}
+	if !isFinite(ev.Activity) || ev.Activity < 0 || ev.Activity > 1 {
+		return fmt.Errorf("fleet: VM %s activity %v outside [0,1]", ev.Name, ev.Activity)
+	}
+	if i > 0 {
+		if ev.Arrive == f.prevArr && ev.Name == f.prevName {
+			return fmt.Errorf("fleet: duplicate VM name %q", ev.Name)
+		}
+		if ev.Arrive < f.prevArr || (ev.Arrive == f.prevArr && ev.Name < f.prevName) {
+			return fmt.Errorf("fleet: events not sorted by (arrive, name) at index %d", i)
+		}
+	}
+	f.prevArr, f.prevName = ev.Arrive, ev.Name
+	f.ev, f.evValid = ev, true
+	return nil
+}
+
 // powerOn switches a machine on in the control plane and dispatches the
 // host-side power-on (lazy construction, catch-up, energy snapshot).
 func (f *Fleet) powerOn(idx int) error {
@@ -1098,6 +1268,7 @@ func (f *Fleet) powerOn(idx int) error {
 		return nil
 	}
 	st.On = true
+	f.stateChanged(idx)
 	f.everOn[idx] = true
 	f.poweredOn++
 	if f.cobs != nil {
@@ -1110,14 +1281,19 @@ func (f *Fleet) powerOn(idx int) error {
 // persistent bookkeeping view, the coordinator books the resources, and
 // the owning shard attaches the VM.
 func (f *Fleet) arrive(ev *VMEvent) error {
-	class := f.trace.Classes[ev.Class]
+	if _, live := f.vms[ev.Name]; live {
+		// The streamed-source analogue of Trace.Validate's global name
+		// uniqueness: no two concurrently live VMs may share a name.
+		return fmt.Errorf("fleet: duplicate VM name %q", ev.Name)
+	}
+	class := f.classes[ev.Class]
 	req := Request{
 		Name:         ev.Name,
 		CreditPct:    class.CreditPct,
 		MemoryMB:     class.MemoryMB,
 		MeanActivity: ev.Activity,
 	}
-	idx, ok := f.cfg.Policy.Place(f.states, req)
+	idx, ok := f.place(req)
 	if !ok {
 		f.rejected++
 		f.iv.Rejected++
@@ -1251,7 +1427,30 @@ func (f *Fleet) removeVM(p *ctlVM) error {
 	p.gone = true
 	p.d = nil
 	delete(f.vms, p.req.Name)
+	f.goneN++
 	return nil
+}
+
+// compactOrder drops departed VMs from the insertion-order list,
+// recycling their control slots. Run amortizes it on churn (gone
+// entries dominating the list) so a departure-heavy reporting window
+// holds O(live VMs) control state, not O(departures per window); the
+// reporting barrier runs it unconditionally so autoscale signal builds
+// never see gone entries pile up.
+func (f *Fleet) compactOrder() {
+	live := f.order[:0]
+	for _, p := range f.order {
+		if p.gone {
+			f.putCtlVM(p)
+			continue
+		}
+		live = append(live, p)
+	}
+	for i := len(live); i < len(f.order); i++ {
+		f.order[i] = nil
+	}
+	f.order = live
+	f.goneN = 0
 }
 
 // slaOf is attained/demanded, defined as 1 when nothing was demanded.
@@ -1453,7 +1652,9 @@ func (f *Fleet) flushOutcomes() error {
 				return err
 			}
 		}
-		f.outFree = append(f.outFree, o)
+		if len(f.outFree) < poolCap {
+			f.outFree = append(f.outFree, o)
+		}
 	}
 	f.outPending = f.outPending[:0]
 	return nil
@@ -1472,18 +1673,8 @@ func (f *Fleet) reportBarrier(t sim.Time) error {
 			active++
 		}
 	}
-	live := f.order[:0]
-	for _, p := range f.order {
-		if p.gone {
-			f.putCtlVM(p)
-			continue
-		}
-		live = append(live, p)
-	}
-	for i := len(live); i < len(f.order); i++ {
-		f.order[i] = nil
-	}
-	f.order = live
+	f.compactOrder()
+	liveN := len(f.order) // the population the barrier samples, pre-autoscale
 
 	if err := f.flushOutcomes(); err != nil {
 		return err
@@ -1491,7 +1682,7 @@ func (f *Fleet) reportBarrier(t sim.Time) error {
 
 	f.iv.TimeS = t.Seconds()
 	f.iv.ActiveMachines = active
-	f.iv.LiveVMs = len(live)
+	f.iv.LiveVMs = liveN
 	// Emit the interval: the exact integer accumulators convert to the
 	// report's float fields here and nowhere earlier.
 	f.iv.Joules = f.ivEnergy.Joules()
@@ -1562,7 +1753,19 @@ func (f *Fleet) reportBarrier(t sim.Time) error {
 	// barrier is the fleet's power-off grace period.
 	for i := range f.states {
 		if f.states[i].On && f.vmCount[i] == 0 && f.inbound[i] == 0 {
-			f.states[i].On = false
+			st := &f.states[i]
+			st.On = false
+			// Snap the emptied machine back to pristine capacity: paired
+			// float reserve/release leaves sub-ulp dust on the free
+			// credit and offered load, and the placement index relies on
+			// every off machine of a class being bit-identical (a
+			// machine with nothing resident has its full capacity free
+			// by definition).
+			ci := f.classOf[i]
+			st.FreeMemMB = f.specs[ci].MemoryMB
+			st.FreeCreditPct = f.caps[ci]
+			st.OfferedLoadPct = 0
+			f.stateChanged(i)
 			f.poweredOff++
 			if f.cobs != nil {
 				f.cobs.Emit(t, obs.KindPowerOff, "", int64(i), 0)
@@ -1576,14 +1779,14 @@ func (f *Fleet) reportBarrier(t sim.Time) error {
 		// Every shard is parked at the barrier and every machine event up
 		// to t is in its ring; fold the coordinator's own barrier marker
 		// in, then merge the window.
-		f.cobs.Emit(t, obs.KindBarrier, "", int64(len(live)), 0)
+		f.cobs.Emit(t, obs.KindBarrier, "", int64(liveN), 0)
 		if err := f.rec.Drain(); err != nil {
 			return err
 		}
 		f.progEvents.Store(f.rec.Total())
 	}
 	f.progSimUs.Store(int64(t))
-	f.progLive.Store(int64(len(live)))
+	f.progLive.Store(int64(liveN))
 	return nil
 }
 

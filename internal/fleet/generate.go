@@ -131,75 +131,208 @@ func (cfg GenConfig) withDefaults() (GenConfig, error) {
 // long-runners).
 const paretoAlpha = 1.5
 
+// mix64 is the splitmix64 finalizer: a bijective avalanche that turns
+// the structured per-event seeds (seed xor scaled index) into
+// well-separated RNG states.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// genSource streams the synthetic trace in arrival order without ever
+// materializing it. Sorted arrivals come from the order-statistics
+// identity u_(k) = (E_1+...+E_k)/(E_1+...+E_(N+1)) for iid Exp(1)
+// spacings: one pass sums the N+1 spacings, a second pass replays the
+// same draws (same seed) and emits each normalized prefix through the
+// inverse of the diurnal cumulative intensity, so arrival k costs O(1)
+// memory and the stream is already in (Arrive, Name) order. Per-event
+// attributes (lifetime, class, demand jitter) come from an independent
+// RNG lane keyed on the event index, so they are identical whether the
+// trace is streamed or materialized.
+type genSource struct {
+	cfg         GenConfig
+	classes     map[string]VMClass
+	totalWeight float64
+	width       int
+
+	rng    *sim.RNG // pass-2 replay of the exponential spacings
+	sum    float64  // total of the N+1 spacings from pass 1
+	prefix float64  // running spacing prefix
+	lamH   float64  // cumulative intensity at the horizon
+
+	i          int
+	prevArrive sim.Time
+}
+
+// GenerateStream returns the synthetic trace as a TraceSource emitting
+// lazily: peak memory is O(1) in the arrival count, so a 10M-arrival
+// trace can feed NewStream or WriteCSVStream directly. Generate is this
+// stream materialized — the two are bit-identical event for event.
+func GenerateStream(cfg GenConfig) (TraceSource, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	classes := make(map[string]VMClass, len(cfg.Classes))
+	totalWeight := 0.0
+	for _, m := range cfg.Classes {
+		classes[m.Class.Name] = m.Class
+		totalWeight += m.Weight
+	}
+	// Pass 1: total of the N+1 exponential spacings. Pass 2 (Next)
+	// replays the identical draws from a fresh RNG on the same seed.
+	rng := sim.NewRNG(cfg.Seed)
+	sum := 0.0
+	for i := 0; i <= cfg.Arrivals; i++ {
+		sum += rng.ExpFloat64()
+	}
+	s := &genSource{
+		cfg:         cfg,
+		classes:     classes,
+		totalWeight: totalWeight,
+		width:       len(fmt.Sprintf("%d", cfg.Arrivals)),
+		rng:         sim.NewRNG(cfg.Seed),
+		sum:         sum,
+		lamH:        cumIntensity(float64(cfg.Horizon), cfg),
+	}
+	return s, nil
+}
+
+func (s *genSource) Classes() map[string]VMClass { return s.classes }
+func (s *genSource) Horizon() sim.Time           { return s.cfg.Horizon }
+func (s *genSource) Err() error                  { return nil }
+
+func (s *genSource) Next() (VMEvent, bool) {
+	if s.i >= s.cfg.Arrivals {
+		return VMEvent{}, false
+	}
+	cfg := s.cfg
+	s.prefix += s.rng.ExpFloat64()
+	u := s.prefix / s.sum
+
+	// Arrival by inverse transform of the cumulative diurnal intensity:
+	// the k-th uniform order statistic mapped through Lambda^-1, so the
+	// arrival density is proportional to 1 + A*sin(2*pi*t/P) — the same
+	// wave the materialized generator targeted by rejection.
+	arrive := sim.Time(invCumIntensity(u*s.lamH, cfg))
+	if arrive < 0 {
+		arrive = 0
+	}
+	if arrive >= cfg.Horizon {
+		arrive = cfg.Horizon - 1
+	}
+	if arrive < s.prevArrive {
+		// Float inversion can misorder adjacent arrivals by an ulp;
+		// clamping keeps the stream sorted (names break the tie).
+		arrive = s.prevArrive
+	}
+	s.prevArrive = arrive
+
+	// Independent attribute lane per event: identical draws regardless
+	// of how many events came before, so streaming == materializing.
+	lane := sim.NewRNG(mix64(cfg.Seed ^ uint64(s.i)*0x9e3779b97f4a7c15))
+
+	// Bounded Pareto lifetime with mean MeanLifetime (for the
+	// unbounded distribution): x_m = mean * (alpha-1)/alpha.
+	xm := float64(cfg.MeanLifetime) * (paretoAlpha - 1) / paretoAlpha
+	uLife := lane.Float64()
+	life := sim.Time(xm * math.Pow(1-uLife, -1/paretoAlpha))
+	if life > cfg.MaxLifetime {
+		life = cfg.MaxLifetime
+	}
+	if life < sim.Millisecond {
+		life = sim.Millisecond
+	}
+
+	// Weighted class pick.
+	pick := lane.Float64() * s.totalWeight
+	class := cfg.Classes[len(cfg.Classes)-1].Class
+	for _, m := range cfg.Classes {
+		if pick < m.Weight {
+			class = m.Class
+			break
+		}
+		pick -= m.Weight
+	}
+
+	ev := VMEvent{
+		Name:     fmt.Sprintf("vm%0*d", s.width, s.i),
+		Class:    class.Name,
+		Arrive:   arrive,
+		Lifetime: life,
+	}
+	ev.Activity, ev.Demand = demandProfile(cfg, lane, class, arrive, arrive+life)
+	s.i++
+	return ev, true
+}
+
+// diurnalWave is the shared intensity/activity modulation: 1 plus a
+// sine of the configured period, scaled by the amplitude.
+func diurnalWave(cfg GenConfig, at sim.Time) float64 {
+	return 1 + cfg.DiurnalAmplitude*math.Sin(2*math.Pi*at.Seconds()/cfg.DiurnalPeriod.Seconds())
+}
+
+// cumIntensity is the integral of the diurnal wave from 0 to tau (tau
+// in sim.Time units): tau + A*(P/2pi)*(1 - cos(2pi*tau/P)).
+func cumIntensity(tau float64, cfg GenConfig) float64 {
+	w := 2 * math.Pi / float64(cfg.DiurnalPeriod)
+	return tau + cfg.DiurnalAmplitude/w*(1-math.Cos(w*tau))
+}
+
+// invCumIntensity inverts cumIntensity on [0, Horizon] by Newton with a
+// bisection safeguard. The derivative 1 + A*sin(w*tau) is at least
+// 1-A > 0, so the function is strictly increasing and the iteration is
+// safe; the bracket guarantees termination on any rounding pattern.
+func invCumIntensity(target float64, cfg GenConfig) float64 {
+	if target <= 0 {
+		return 0
+	}
+	w := 2 * math.Pi / float64(cfg.DiurnalPeriod)
+	lo, hi := 0.0, float64(cfg.Horizon)
+	tau := target // the identity part of Lambda makes this a good start
+	if tau > hi {
+		tau = hi
+	}
+	for iter := 0; iter < 64; iter++ {
+		f := tau + cfg.DiurnalAmplitude/w*(1-math.Cos(w*tau)) - target
+		if f > 0 {
+			hi = tau
+		} else if f < 0 {
+			lo = tau
+		} else {
+			return tau
+		}
+		d := 1 + cfg.DiurnalAmplitude*math.Sin(w*tau)
+		next := tau - f/d
+		if next <= lo || next >= hi {
+			next = 0.5 * (lo + hi)
+		}
+		if next == tau {
+			break
+		}
+		tau = next
+	}
+	return tau
+}
+
 // Generate builds a synthetic VM lifecycle trace: arrivals follow a
 // diurnal intensity wave over the horizon, lifetimes are heavy-tailed
 // around the configured mean, classes are drawn from the weighted mix,
 // and every VM carries a piecewise demand profile modulated by the same
 // diurnal wave plus per-segment jitter. The trace is deterministic in the
-// seed.
+// seed, and bit-identical to draining GenerateStream — Generate is that
+// stream materialized and validated.
 func Generate(cfg GenConfig) (*Trace, error) {
-	cfg, err := cfg.withDefaults()
+	src, err := GenerateStream(cfg)
 	if err != nil {
 		return nil, err
 	}
-	rng := sim.NewRNG(cfg.Seed)
-	t := &Trace{Classes: make(map[string]VMClass, len(cfg.Classes)), Horizon: cfg.Horizon}
-	totalWeight := 0.0
-	for _, m := range cfg.Classes {
-		t.Classes[m.Class.Name] = m.Class
-		totalWeight += m.Weight
-	}
-
-	diurnal := func(at sim.Time) float64 {
-		return 1 + cfg.DiurnalAmplitude*math.Sin(2*math.Pi*at.Seconds()/cfg.DiurnalPeriod.Seconds())
-	}
-	width := len(fmt.Sprintf("%d", cfg.Arrivals))
-	for i := 0; i < cfg.Arrivals; i++ {
-		// Arrival time by rejection sampling against the diurnal
-		// intensity: uniform proposals accepted with probability
-		// proportional to the intensity at the proposed time.
-		var arrive sim.Time
-		for {
-			arrive = sim.Time(rng.Float64() * float64(cfg.Horizon))
-			if rng.Float64()*(1+cfg.DiurnalAmplitude) <= diurnal(arrive) {
-				break
-			}
-		}
-
-		// Bounded Pareto lifetime with mean MeanLifetime (for the
-		// unbounded distribution): x_m = mean * (alpha-1)/alpha.
-		xm := float64(cfg.MeanLifetime) * (paretoAlpha - 1) / paretoAlpha
-		u := rng.Float64()
-		life := sim.Time(xm * math.Pow(1-u, -1/paretoAlpha))
-		if life > cfg.MaxLifetime {
-			life = cfg.MaxLifetime
-		}
-		if life < sim.Millisecond {
-			life = sim.Millisecond
-		}
-
-		// Weighted class pick.
-		pick := rng.Float64() * totalWeight
-		class := cfg.Classes[len(cfg.Classes)-1].Class
-		for _, m := range cfg.Classes {
-			if pick < m.Weight {
-				class = m.Class
-				break
-			}
-			pick -= m.Weight
-		}
-
-		ev := VMEvent{
-			Name:     fmt.Sprintf("vm%0*d", width, i),
-			Class:    class.Name,
-			Arrive:   arrive,
-			Lifetime: life,
-		}
-		ev.Activity, ev.Demand = demandProfile(cfg, rng, class, arrive, arrive+life, diurnal)
-		t.Events = append(t.Events, ev)
-	}
-	t.sortEvents()
-	if err := t.Validate(); err != nil {
+	t, err := Drain(src)
+	if err != nil {
 		return nil, fmt.Errorf("fleet: generated trace invalid: %w", err)
 	}
 	return t, nil
@@ -209,8 +342,7 @@ func Generate(cfg GenConfig) (*Trace, error) {
 // whose activity follows the diurnal wave with per-segment jitter. It
 // returns the mean activity (the scalar the CSV format carries) and the
 // phases.
-func demandProfile(cfg GenConfig, rng *sim.RNG, class VMClass, start, end sim.Time,
-	diurnal func(sim.Time) float64) (float64, []workload.Phase) {
+func demandProfile(cfg GenConfig, rng *sim.RNG, class VMClass, start, end sim.Time) (float64, []workload.Phase) {
 	if end <= start {
 		return 0, nil
 	}
@@ -226,7 +358,7 @@ func demandProfile(cfg GenConfig, rng *sim.RNG, class VMClass, start, end sim.Ti
 			segEnd = end
 		}
 		jitter := 0.75 + 0.5*rng.Float64()
-		act := cfg.BaseActivity * diurnal(at) * jitter / (1 + cfg.DiurnalAmplitude)
+		act := cfg.BaseActivity * diurnalWave(cfg, at) * jitter / (1 + cfg.DiurnalAmplitude)
 		if act > 1 {
 			act = 1
 		}

@@ -152,6 +152,19 @@ func (q *cmdQueue) push(c command) {
 	q.cond.Signal()
 }
 
+// pushBatch appends a pre-partitioned run of commands under one lock
+// acquisition — the coordinator stages arrival-heavy windows per shard
+// and hands each shard its whole run at once.
+func (q *cmdQueue) pushBatch(cmds []command) {
+	if len(cmds) == 0 {
+		return
+	}
+	q.mu.Lock()
+	q.buf = append(q.buf, cmds...)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
 // wait blocks until commands are queued or the queue is closed, and
 // returns the pending batch. ok is false when the queue is closed and
 // fully drained.

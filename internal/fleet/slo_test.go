@@ -38,10 +38,10 @@ func TestServingLatencySLO(t *testing.T) {
 		sched        string
 		p50Ms, p99Ms float64
 	}{
-		{"credit", 180, 1660},      // measured 147.46 / 1376.26
-		{"pas", 175, 1660},         // measured 143.36 / 1376.26
-		{"credit2", 165, 1810},     // measured 135.17 / 1507.33
-		{"pas-credit2", 165, 1810}, // measured 135.17 / 1507.33
+		{"credit", 192, 1615},      // measured 159.74 / 1343.49
+		{"pas", 192, 1615},         // measured 159.74 / 1343.49
+		{"credit2", 177, 1730},     // measured 147.46 / 1441.79
+		{"pas-credit2", 177, 1695}, // measured 147.46 / 1409.02
 	}
 	for _, slo := range slos {
 		slo := slo

@@ -275,30 +275,10 @@ func ParseTrace(r io.Reader) (*Trace, error) {
 // WriteCSV writes the trace in the format ParseTrace reads, so generated
 // traces can be saved, inspected and replayed. Piecewise Demand profiles
 // are not serialized (the CSV carries the scalar Activity; a replayed
-// trace offers the equivalent constant profile).
+// trace offers the equivalent constant profile). The output is
+// byte-identical to streaming the trace through WriteCSVStream.
 func (t *Trace) WriteCSV(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "# fleet VM lifecycle trace: %d events, %d classes\n", len(t.Events), len(t.Classes))
-	fmt.Fprintf(bw, "horizon,%s\n", formatSeconds(t.Horizon))
-	names := make([]string, 0, len(t.Classes))
-	for name := range t.Classes {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		c := t.Classes[name]
-		fmt.Fprintf(bw, "class,%s,%s,%d\n", c.Name,
-			strconv.FormatFloat(c.CreditPct, 'g', -1, 64), c.MemoryMB)
-	}
-	for _, ev := range t.Events {
-		fmt.Fprintf(bw, "vm,%s,%s,%s,%s,%s\n", ev.Name,
-			formatSeconds(ev.Arrive), formatSeconds(ev.Lifetime), ev.Class,
-			strconv.FormatFloat(ev.Activity, 'g', -1, 64))
-	}
-	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("fleet: write trace: %w", err)
-	}
-	return nil
+	return WriteCSVStream(t.Source(), w)
 }
 
 // demandPhases returns the event's request-rate profile in absolute time:

@@ -56,6 +56,11 @@ type Config struct {
 	// Quantum is the scheduling quantum; default 1 ms.
 	Quantum sim.Time
 	// SampleInterval is the recorder sampling interval; default 1 s.
+	// Negative disables recorder sampling entirely: no series are
+	// collected, so a host's memory no longer grows with simulated time
+	// or with the VMs that ever lived on it (fleet estates run this way
+	// — the fleet reports its own interval curves and never reads the
+	// per-host recorder).
 	SampleInterval sim.Time
 	// MeterInterval is the load-meter sub-sampling interval used by the
 	// GlobalLoad signal consumed by PAS; default 100 ms.
@@ -178,7 +183,7 @@ func New(cfg Config) (*Host, error) {
 	if cfg.MeterDepth == 0 {
 		cfg.MeterDepth = 3
 	}
-	if cfg.SampleInterval < cfg.Quantum || cfg.MeterInterval < cfg.Quantum {
+	if (cfg.SampleInterval > 0 && cfg.SampleInterval < cfg.Quantum) || cfg.MeterInterval < cfg.Quantum {
 		return nil, fmt.Errorf("host: sampling intervals must be >= quantum")
 	}
 	meter, err := metrics.NewDeltaMeter(cfg.MeterInterval, cfg.MeterDepth)
@@ -230,11 +235,13 @@ func New(cfg Config) (*Host, error) {
 	}); err != nil {
 		return nil, fmt.Errorf("host: %w", err)
 	}
-	if err := eng.AddAction("sample", cfg.SampleInterval, engine.OrderSampler, func(now sim.Time) error {
-		h.sample(now)
-		return nil
-	}); err != nil {
-		return nil, fmt.Errorf("host: %w", err)
+	if cfg.SampleInterval > 0 {
+		if err := eng.AddAction("sample", cfg.SampleInterval, engine.OrderSampler, func(now sim.Time) error {
+			h.sample(now)
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("host: %w", err)
+		}
 	}
 	return h, nil
 }
